@@ -1,0 +1,71 @@
+// Fig 6: the ordered-matching decision chain.  Shows how packets resolve
+// stage by stage (what fraction each threshold test catches, and with
+// what precision), for the calibrated order at 10 Msps 1-bit — the
+// mechanics behind Fig 7b's win over blind matching.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/ident_experiment.h"
+
+using namespace ms;
+
+int main() {
+  bench::title("Fig 6", "ordered matching: per-stage resolution statistics");
+  IdentTrialConfig cfg;
+  cfg.ident.templates.adc_rate_hz = 10e6;
+  cfg.ident.templates.preprocess_len = 20;
+  cfg.ident.templates.match_len = 60;
+  cfg.ident.compute = ComputeMode::OneBit;
+
+  const OrderedCalibration cal = calibrate_ordered_matching(cfg, 60);
+  cfg.ident.decision = DecisionMode::Ordered;
+  cfg.ident.order = cal.order;
+  cfg.ident.thresholds = cal.thresholds;
+  const ProtocolIdentifier identifier(cfg.ident);
+
+  // Collect per-stage decisions on a fresh trial set.
+  Rng rng(cfg.seed ^ 0xfeed);
+  const std::size_t kTrials = 150;
+  // stage_hits[stage][truth]: packets claimed by stage, per true protocol.
+  std::array<std::array<std::size_t, 4>, 5> stage_hits{};
+  for (Protocol truth : kAllProtocols) {
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      const Samples trace = make_ident_trace(truth, cfg, rng);
+      const auto scores = identifier.scores(trace);
+      std::size_t stage = 4;  // 4 = fell through every threshold
+      for (std::size_t s = 0; s < 4; ++s) {
+        const std::size_t idx = protocol_index(cfg.ident.order[s]);
+        if (scores[idx] > cfg.ident.thresholds[idx]) {
+          stage = s;
+          break;
+        }
+      }
+      ++stage_hits[stage][protocol_index(truth)];
+    }
+  }
+
+  std::printf("%-8s %-10s %6s %10s %10s %10s\n", "stage", "tests for", "thr",
+              "claimed", "correct", "precision");
+  bench::rule();
+  for (std::size_t s = 0; s < 4; ++s) {
+    const Protocol p = cfg.ident.order[s];
+    const std::size_t idx = protocol_index(p);
+    std::size_t claimed = 0;
+    for (std::size_t truth = 0; truth < 4; ++truth)
+      claimed += stage_hits[s][truth];
+    const std::size_t correct = stage_hits[s][idx];
+    std::printf("%-8zu %-10s %6.2f %10zu %10zu %9.1f%%\n", s + 1,
+                std::string(protocol_name(p)).c_str(),
+                cfg.ident.thresholds[idx], claimed, correct,
+                claimed ? 100.0 * correct / claimed : 0.0);
+  }
+  std::size_t unresolved = 0;
+  for (std::size_t truth = 0; truth < 4; ++truth)
+    unresolved += stage_hits[4][truth];
+  std::printf("%-8s %-10s %6s %10zu\n", "-", "(no match)", "", unresolved);
+  bench::rule();
+  bench::note("each stage peels off one protocol with high precision; the"
+              " residue cascades to later, more permissive thresholds —"
+              " why ordered beats blind after the lossy 1-bit pipeline");
+  return 0;
+}

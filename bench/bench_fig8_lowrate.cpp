@@ -1,0 +1,52 @@
+// Fig 8: identification at low sampling rates.
+//   (a) 2.5 Msps with the minimal 8 µs window — collapses;
+//   (b) 2.5 Msps with the extended 40 µs window — recovers ≥ 0.93;
+//   (c) 1 Msps — stays near chance even with the extension.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/ident_experiment.h"
+
+using namespace ms;
+
+namespace {
+
+void report(const char* id, const char* what, IdentTrialConfig cfg,
+            const char* paper) {
+  bench::title(id, what);
+  const OrderedCalibration cal = calibrate_ordered_matching(cfg, 60);
+  cfg.ident.decision = DecisionMode::Ordered;
+  cfg.ident.order = cal.order;
+  cfg.ident.thresholds = cal.thresholds;
+  const IdentResult r = run_ident_experiment(cfg, 200);
+  std::printf("%-10s %10s\n", "protocol", "accuracy");
+  bench::rule();
+  for (Protocol p : kAllProtocols)
+    std::printf("%-10s %10.3f\n", std::string(protocol_name(p)).c_str(),
+                r.accuracy(p));
+  std::printf("%-10s %10.3f   (%s)\n", "average", r.average_accuracy(), paper);
+}
+
+IdentTrialConfig make(double adc, std::size_t lp, std::size_t lt) {
+  IdentTrialConfig cfg;
+  cfg.ident.templates.adc_rate_hz = adc;
+  cfg.ident.templates.preprocess_len = lp;
+  cfg.ident.templates.match_len = lt;
+  cfg.ident.compute = ComputeMode::OneBit;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  report("Fig 8a", "2.5 Msps, minimal 8 us window", make(2.5e6, 5, 15),
+         "paper: 0.485");
+  report("Fig 8b", "2.5 Msps, extended 40 us window", make(2.5e6, 20, 80),
+         "paper: 0.93; per-protocol 94.3/95.9/81.8/99.9");
+  report("Fig 8c", "1 Msps, minimal window", make(1e6, 2, 6),
+         "paper: ~0.5");
+  bench::rule();
+  bench::note("shape: extension rescues 2.5 Msps; the minimal window and"
+              " 1 Msps stay far below the >0.9 application bar");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Hot-path microbenchmarks (google-benchmark): the operations a tag or
+// receiver runs per packet — correlation, despreading, FFT, GFSK
+// discrimination, rectifier simulation, and full overlay decode.
+#include <benchmark/benchmark.h>
+
+#include "analog/rectifier.h"
+#include "common/rng.h"
+#include "core/ident/identifier.h"
+#include "core/ident/onebit_correlator.h"
+#include "core/overlay/ble_overlay.h"
+#include "dsp/correlate.h"
+#include "dsp/fft.h"
+#include "dsp/mixer.h"
+#include "phy/dsss/wifi_b.h"
+#include "phy/zigbee/zigbee.h"
+
+namespace ms {
+namespace {
+
+void BM_SlidingPearson(benchmark::State& state) {
+  Rng rng(1);
+  Samples trace(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : trace) v = static_cast<float>(rng.normal());
+  Samples tmpl(120);
+  for (auto& v : tmpl) v = static_cast<float>(rng.normal());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sliding_correlation(trace, tmpl));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SlidingPearson)->Arg(256)->Arg(1024);
+
+void BM_OneBitCorrelation(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<int8_t> a(120), b(120);
+  for (auto& v : a) v = rng.chance(0.5) ? 1 : -1;
+  for (auto& v : b) v = rng.chance(0.5) ? 1 : -1;
+  for (auto _ : state) benchmark::DoNotOptimize(sign_correlation(a, b));
+}
+BENCHMARK(BM_OneBitCorrelation);
+
+void BM_Fft64(benchmark::State& state) {
+  Rng rng(3);
+  Iq x(64);
+  for (auto& v : x)
+    v = Cf(static_cast<float>(rng.normal()), static_cast<float>(rng.normal()));
+  for (auto _ : state) {
+    Iq y = x;
+    fft_inplace(y);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_Fft64);
+
+void BM_WifiBModulateFrame(benchmark::State& state) {
+  Rng rng(4);
+  const WifiBPhy phy;
+  const Bytes payload = rng.bytes(64);
+  for (auto _ : state) benchmark::DoNotOptimize(phy.modulate_frame(payload));
+}
+BENCHMARK(BM_WifiBModulateFrame);
+
+void BM_ZigbeeDetectSymbols(benchmark::State& state) {
+  Rng rng(5);
+  const ZigbeePhy phy;
+  std::vector<uint8_t> symbols(32);
+  for (auto& s : symbols) s = static_cast<uint8_t>(rng.uniform_int(16));
+  const Iq wave = phy.modulate_symbols(symbols);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(phy.detect_symbols(wave, symbols.size()));
+  state.SetItemsProcessed(state.iterations() * symbols.size());
+}
+BENCHMARK(BM_ZigbeeDetectSymbols);
+
+void BM_Discriminator(benchmark::State& state) {
+  Rng rng(6);
+  Iq x(8000);
+  double phase = 0.0;
+  for (auto& v : x) {
+    phase += rng.normal(0.0, 0.3);
+    v = Cf(static_cast<float>(std::cos(phase)), static_cast<float>(std::sin(phase)));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(discriminate(x, 8e6));
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_Discriminator);
+
+void BM_RectifierRun(benchmark::State& state) {
+  Rng rng(7);
+  const Rectifier rect(multiscatter_rectifier());
+  Samples env(20000);
+  for (auto& v : env) v = static_cast<float>(std::abs(rng.normal(0.3, 0.1)));
+  for (auto _ : state) benchmark::DoNotOptimize(rect.run(env, 20e6));
+  state.SetItemsProcessed(state.iterations() * env.size());
+}
+BENCHMARK(BM_RectifierRun);
+
+void BM_BleOverlayDecode(benchmark::State& state) {
+  Rng rng(8);
+  const BleOverlay codec(OverlayParams{8, 4});
+  const std::size_t n_seq = 32;
+  const Bits prod = rng.bits(n_seq);
+  const Bits tag = rng.bits(codec.tag_capacity(n_seq));
+  const Iq wave = codec.tag_modulate(codec.make_carrier(prod), tag);
+  for (auto _ : state) benchmark::DoNotOptimize(codec.decode(wave, n_seq));
+  state.SetItemsProcessed(state.iterations() * n_seq);
+}
+BENCHMARK(BM_BleOverlayDecode);
+
+void BM_PackedCorrelation(benchmark::State& state) {
+  Rng rng(10);
+  std::vector<int8_t> stream(static_cast<std::size_t>(state.range(0)));
+  std::vector<int8_t> tmpl_signs(120);
+  for (auto& v : stream) v = rng.chance(0.5) ? 1 : -1;
+  for (auto& v : tmpl_signs) v = rng.chance(0.5) ? 1 : -1;
+  const PackedBits tmpl(tmpl_signs);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(packed_sliding_correlation(stream, tmpl));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackedCorrelation)->Arg(256)->Arg(1024);
+
+void BM_IdentifierScore(benchmark::State& state) {
+  IdentifierConfig cfg;
+  cfg.templates.adc_rate_hz = 10e6;
+  cfg.templates.preprocess_len = 20;
+  cfg.templates.match_len = 60;
+  cfg.compute = ComputeMode::OneBit;
+  const ProtocolIdentifier ident(cfg);
+  Rng rng(9);
+  Samples trace(420);
+  for (auto& v : trace) v = static_cast<float>(std::abs(rng.normal(0.3, 0.1)));
+  for (auto _ : state) benchmark::DoNotOptimize(ident.scores(trace));
+}
+BENCHMARK(BM_IdentifierScore);
+
+}  // namespace
+}  // namespace ms
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+// Shared formatting helpers for the experiment-reproduction benches.
+// Every bench prints the rows/series of one table or figure from the
+// paper, alongside the paper's reported values where applicable.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+
+namespace ms::bench {
+
+inline void title(const char* id, const char* what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* text) { std::printf("  %s\n", text); }
+
+inline void rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace ms::bench

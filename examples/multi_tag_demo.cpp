@@ -1,0 +1,69 @@
+// Multi-tag demo: two battery-free sensors share one ZigBee excitation
+// packet by TDMA over the overlay groups; each wraps its reading in a
+// TagFrame, and one commodity radio decodes the packet once and
+// reassembles both sensor streams.
+//
+// Usage: ./examples/multi_tag_demo
+#include <cstdio>
+#include <cstring>
+
+#include "channel/awgn.h"
+#include "core/overlay/frame.h"
+#include "core/overlay/multi_tag.h"
+#include "core/overlay/zigbee_overlay.h"
+
+int main() {
+  using namespace ms;
+  Rng rng(77);
+
+  const ZigbeeOverlay codec(OverlayParams{7, 2});  // 3 groups/sequence
+  const TdmaPlan plan{2};
+  const std::size_t n_seq = 120;
+
+  // Two sensors with different readings.
+  const float temperature_c = 21.5f;
+  const float humidity_pct = 63.0f;
+  Bytes reading_a(sizeof temperature_c), reading_b(sizeof humidity_pct);
+  std::memcpy(reading_a.data(), &temperature_c, sizeof temperature_c);
+  std::memcpy(reading_b.data(), &humidity_pct, sizeof humidity_pct);
+
+  std::vector<Bits> per_tag;
+  for (unsigned t = 0; t < plan.n_tags; ++t) {
+    const Bytes& reading = t == 0 ? reading_a : reading_b;
+    const auto frames = segment_reading(static_cast<uint8_t>(t + 1), reading,
+                                        plan.capacity_for(codec, n_seq, t));
+    Bits bits = frames.at(0).to_bits();  // fits in one frame here
+    bits.resize(plan.capacity_for(codec, n_seq, t), 0);
+    per_tag.push_back(std::move(bits));
+  }
+
+  // Both tags modulate their own groups of the same carrier.
+  const Bits combined = tdma_multiplex(plan, codec, n_seq, per_tag);
+  const Bits productive = rng.bits(n_seq * codec.productive_bits_per_sequence());
+  const Iq wave = codec.tag_modulate(codec.make_carrier(productive), combined);
+  const Iq rx = add_awgn(wave, 14.0, rng);
+
+  // One radio, one decode, two sensors.
+  const OverlayDecoded out = codec.decode(rx, n_seq);
+  const auto streams = tdma_demultiplex(plan, out.tag);
+
+  std::printf("multi-tag demo: 2 tags on one ZigBee packet (%zu sequences)\n",
+              n_seq);
+  std::printf("productive BER: %.4f\n",
+              bit_error_rate(productive, out.productive));
+  int failures = 0;
+  for (unsigned t = 0; t < plan.n_tags; ++t) {
+    const auto frame = TagFrame::from_bits(streams[t]);
+    if (!frame) {
+      std::printf("tag %u: frame CRC failed\n", t + 1);
+      ++failures;
+      continue;
+    }
+    float value = 0.0f;
+    std::memcpy(&value, frame->payload.data(),
+                std::min(frame->payload.size(), sizeof value));
+    std::printf("tag %u (id %u): %s = %.1f\n", t + 1, frame->tag_id,
+                t == 0 ? "temperature C" : "humidity %", value);
+  }
+  return failures == 0 ? 0 : 1;
+}

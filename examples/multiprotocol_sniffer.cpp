@@ -1,0 +1,61 @@
+// Multiprotocol sniffer: the tag-side identification pipeline running on
+// a live mix of excitations.  Random 802.11b/n, BLE, and ZigBee packets
+// arrive; the ultra-low-power path (2.5 Msps ADC, 1-bit quantization,
+// ordered template matching) labels each one, and the program prints the
+// rolling confusion matrix — the paper's §2.3 workload.
+//
+// Usage: ./examples/multiprotocol_sniffer [n_packets]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/ident_experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace ms;
+  const int n_packets = argc > 1 ? std::atoi(argv[1]) : 200;
+
+  IdentTrialConfig cfg;
+  cfg.ident.templates.adc_rate_hz = 2.5e6;  // deployed low-power rate
+  cfg.ident.templates.preprocess_len = 20;
+  cfg.ident.templates.match_len = 80;  // extended 40 µs window
+  cfg.ident.compute = ComputeMode::OneBit;
+
+  std::printf("calibrating ordered matching (brute-force, as in the paper)…\n");
+  const OrderedCalibration cal = calibrate_ordered_matching(cfg, 40);
+  cfg.ident.decision = DecisionMode::Ordered;
+  cfg.ident.order = cal.order;
+  cfg.ident.thresholds = cal.thresholds;
+  std::printf("  order:");
+  for (Protocol p : cal.order)
+    std::printf(" %s", std::string(protocol_name(p)).c_str());
+  std::printf("\n");
+
+  const ProtocolIdentifier identifier(cfg.ident);
+  Rng rng(2718);
+
+  std::array<std::array<int, 5>, 4> confusion{};
+  for (int pkt = 0; pkt < n_packets; ++pkt) {
+    const Protocol truth =
+        kAllProtocols[rng.uniform_int(kAllProtocols.size())];
+    const Samples trace = make_ident_trace(truth, cfg, rng);
+    const auto detected = identifier.identify(trace);
+    ++confusion[protocol_index(truth)][detected ? protocol_index(*detected) : 4];
+  }
+
+  std::printf("\nconfusion matrix after %d packets (rows = truth):\n",
+              n_packets);
+  std::printf("%-10s %8s %8s %8s %8s %8s\n", "", "11b", "11n", "BLE", "ZigBee",
+              "none");
+  int correct = 0, total = 0;
+  for (Protocol p : kAllProtocols) {
+    const std::size_t i = protocol_index(p);
+    std::printf("%-10s", std::string(protocol_name(p)).c_str());
+    for (int d = 0; d < 5; ++d) std::printf(" %8d", confusion[i][d]);
+    std::printf("\n");
+    correct += confusion[i][i];
+    for (int d = 0; d < 5; ++d) total += confusion[i][d];
+  }
+  std::printf("\noverall accuracy: %.1f%% (paper: >93%% at 2.5 Msps)\n",
+              100.0 * correct / total);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the multiscatter pipeline in ~60 lines.
+//
+// A BLE advertising stream serves as the productive carrier.  The tag
+// overlays a sensor reading on top of it (overlay modulation, mode 1),
+// and a single commodity BLE radio decodes BOTH the productive data and
+// the tag data from the same packet — no second receiver, no dependency
+// on the original channel.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <cstring>
+
+#include "channel/awgn.h"
+#include "core/overlay/overlay.h"
+
+int main() {
+  using namespace ms;
+  Rng rng(2024);
+
+  // 1. The excitation is identified as BLE (see multiprotocol_sniffer for
+  //    the identification path); pick the matching overlay codec with the
+  //    paper's mode-1 parameters (κ = 8, γ = 4).
+  auto codec = make_overlay_codec(Protocol::Ble,
+                                  mode_params(Protocol::Ble, OverlayMode::Mode1));
+
+  // 2. The carrier provider spreads its own (productive) data so every
+  //    sequence starts with a reference symbol.
+  const std::size_t n_sequences = 64;
+  const Bits productive = rng.bits(n_sequences);  // 1 bit per BLE sequence
+  const Iq carrier = codec->make_carrier(productive);
+
+  // 3. The tag overlays its sensor reading: a temperature sample, packed
+  //    into the sequence's modulatable symbols by Δf frequency shifts.
+  const float temperature_c = 36.6f;
+  Bytes sensor(sizeof temperature_c);
+  std::memcpy(sensor.data(), &temperature_c, sizeof temperature_c);
+  Bits tag_bits = bytes_to_bits_lsb(sensor);
+  tag_bits.resize(codec->tag_capacity(n_sequences), 0);  // pad to capacity
+  const Iq backscattered = codec->tag_modulate(carrier, tag_bits);
+
+  // 4. The single commodity radio hears the backscattered packet through
+  //    a noisy channel and decodes both streams.
+  const Iq received = add_awgn(backscattered, /*snr_db=*/15.0, rng);
+  const OverlayDecoded decoded = codec->decode(received, n_sequences);
+
+  const Bytes rx_sensor = bits_to_bytes_lsb(
+      std::span<const uint8_t>(decoded.tag).first(sizeof temperature_c * 8));
+  float rx_temperature = 0.0f;
+  std::memcpy(&rx_temperature, rx_sensor.data(), sizeof rx_temperature);
+
+  std::printf("multiscatter quickstart\n");
+  std::printf("  carrier: BLE, %zu sequences (kappa=%u, gamma=%u)\n",
+              n_sequences, codec->params().kappa, codec->params().gamma);
+  std::printf("  productive data BER: %.4f\n",
+              bit_error_rate(productive, decoded.productive));
+  std::printf("  tag data BER:        %.4f\n",
+              bit_error_rate(tag_bits, decoded.tag));
+  std::printf("  sensor reading sent %.1f C, received %.1f C\n",
+              temperature_c, rx_temperature);
+  return bit_error_rate(tag_bits, decoded.tag) == 0.0 ? 0 : 1;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Rebuild everything, run the full test suite, and regenerate every paper
+# table/figure plus the ablations.  Outputs land in ./reproduction/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p reproduction
+ctest --test-dir build 2>&1 | tee reproduction/test_output.txt
+
+: > reproduction/bench_output.txt
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  "$b" 2>&1 | tee -a reproduction/bench_output.txt
+done
+
+echo
+echo "done: reproduction/test_output.txt, reproduction/bench_output.txt"

@@ -1,0 +1,7 @@
+#include "analog/power.h"
+
+namespace ms {
+
+double ic_baseband_power_mw() { return 1.89; }
+
+}  // namespace ms

@@ -1,0 +1,29 @@
+// Tag power-consumption model (Table 3): packet detection (FPGA + ADC),
+// modulation (FPGA + RF switch), and the clock oscillator.
+#pragma once
+
+namespace ms {
+
+struct TagPowerModel {
+  double fpga_pkt_det_mw = 2.5;   ///< identification logic on the AGLN250
+  double adc_20msps_mw = 260.0;   ///< AD9235 at 20 Msps (scales linearly)
+  double fpga_modulation_mw = 1.0;
+  double rf_switch_mw = 0.1;      ///< ADG902
+  double oscillator_mw = 15.9;    ///< 20 MHz clock
+
+  double adc_mw(double sample_rate_hz) const {
+    return adc_20msps_mw * sample_rate_hz / 20e6;
+  }
+  double pkt_detection_mw(double adc_rate_hz) const {
+    return fpga_pkt_det_mw + adc_mw(adc_rate_hz);
+  }
+  double modulation_mw() const { return fpga_modulation_mw + rf_switch_mw; }
+  double total_peak_mw(double adc_rate_hz = 20e6) const {
+    return pkt_detection_mw(adc_rate_hz) + modulation_mw() + oscillator_mw;
+  }
+};
+
+/// IC-simulation estimate of baseband power (the paper's Libero result).
+double ic_baseband_power_mw();
+
+}  // namespace ms

@@ -1,0 +1,78 @@
+#include "analog/rectifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ms {
+
+RectifierConfig multiscatter_rectifier() {
+  RectifierConfig c;
+  c.has_clamp = true;
+  c.clamp_turn_on_v = 0.10;
+  c.diode_turn_on_v = 0.30;
+  c.tau_charge_s = 10e-9;
+  c.tau_discharge_s = 40e-9;  // 1/2.4 GHz ≪ 40 ns ≪ 1/20 MHz
+  return c;
+}
+
+RectifierConfig basic_rectifier() {
+  RectifierConfig c;
+  c.has_clamp = false;
+  c.diode_turn_on_v = 0.30;
+  c.tau_charge_s = 10e-9;
+  c.tau_discharge_s = 40e-9;
+  return c;
+}
+
+RectifierConfig wisp_rectifier() {
+  RectifierConfig c;
+  c.has_clamp = false;
+  c.diode_turn_on_v = 0.30;
+  c.tau_charge_s = 100e-9;
+  c.tau_discharge_s = 5e-6;  // tuned for 40–160 kbps RFID envelopes
+  return c;
+}
+
+Rectifier::Rectifier(RectifierConfig cfg) : cfg_(cfg) {
+  MS_CHECK(cfg_.tau_charge_s > 0.0 && cfg_.tau_discharge_s > 0.0);
+}
+
+Samples Rectifier::run(std::span<const float> envelope_v,
+                       double sample_rate_hz) const {
+  MS_CHECK(sample_rate_hz > 0.0);
+  const double dt = 1.0 / sample_rate_hz;
+  // Diode ON: dv/dt = (drive − v)/τc − v/τd.  Exact exponential step so
+  // the model is stable and dt-independent for any simulation rate.
+  const double lambda_on = 1.0 / cfg_.tau_charge_s + 1.0 / cfg_.tau_discharge_s;
+  const double k_on = std::exp(-dt * lambda_on);
+  const double gain_on =
+      cfg_.tau_discharge_s / (cfg_.tau_charge_s + cfg_.tau_discharge_s);
+  const double k_off = std::exp(-dt / cfg_.tau_discharge_s);
+
+  Samples out(envelope_v.size());
+  double vc = 0.0;
+  for (std::size_t i = 0; i < envelope_v.size(); ++i) {
+    const double a = std::max(0.0f, envelope_v[i]);
+    // The clamp stage pre-charges its capacitor to the negative envelope
+    // peak, so the rectifying diode sees the input riding on +a(t): an
+    // effective peak-to-peak drive of 2a(t) minus the clamp diode drop.
+    const double drive =
+        cfg_.has_clamp
+            ? std::max(0.0, 2.0 * a - cfg_.clamp_turn_on_v) - cfg_.diode_turn_on_v
+            : a - cfg_.diode_turn_on_v;
+    if (drive > vc) {
+      // Diode conducting: relax toward the loaded equilibrium
+      // drive·τd/(τc+τd) — the R1/Rd divider the paper tunes (§2.2.1).
+      const double v_inf = drive * gain_on;
+      vc = v_inf + (vc - v_inf) * k_on;
+    } else {
+      vc *= k_off;  // diode off, discharge through R1
+    }
+    out[i] = static_cast<float>(vc);
+  }
+  return out;
+}
+
+}  // namespace ms

@@ -1,0 +1,54 @@
+// Envelope-detector (rectifier) circuit models (§2.2.1, Fig 3/4).
+//
+// The input is the RF amplitude envelope a(t) ≥ 0 (the simulator's
+// |baseband|); the output is the voltage across the storage capacitor.
+// Three configurations matter to the paper:
+//   - Basic:  single diode + RC, loses Von and smooths heavily.
+//   - Clamped (ours): a clamp stage rides the input up so the rectifying
+//     diode sees ~2·a(t) − V_D1, and the RC is tuned for 20 MHz basebands
+//     (1/f_c ≪ τ ≪ 1/f_b).
+//   - WISP: the WISP 5.0 reference design, tuned for 40–160 kbps RFID
+//     links — its long τ distorts 802.11b envelopes (Fig 4b).
+//
+// Charging/discharging uses the exact per-sample exponential update, so
+// the model is stable for any simulation rate.
+#pragma once
+
+#include <span>
+
+#include "dsp/iq.h"
+
+namespace ms {
+
+struct RectifierConfig {
+  double diode_turn_on_v = 0.30;    ///< Von of the rectifying diode
+  double clamp_turn_on_v = 0.10;    ///< V_D1 of the clamp diode (if any)
+  bool has_clamp = false;
+  double tau_charge_s = 50e-9;      ///< diode/source resistance × C
+  double tau_discharge_s = 40e-9;   ///< R1 × C — the paper's tuned τ
+};
+
+/// The paper's clamped high-bandwidth rectifier.
+RectifierConfig multiscatter_rectifier();
+
+/// Plain diode detector (Fig 3a).
+RectifierConfig basic_rectifier();
+
+/// WISP 5.0-style rectifier (low-bandwidth RFID design).
+RectifierConfig wisp_rectifier();
+
+class Rectifier {
+ public:
+  explicit Rectifier(RectifierConfig cfg);
+
+  /// Run the circuit over an envelope trace sampled at `sample_rate_hz`,
+  /// returning the output voltage trace (same length/rate).
+  Samples run(std::span<const float> envelope_v, double sample_rate_hz) const;
+
+  const RectifierConfig& config() const { return cfg_; }
+
+ private:
+  RectifierConfig cfg_;
+};
+
+}  // namespace ms

@@ -1,0 +1,25 @@
+// Additive white Gaussian noise.
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "dsp/iq.h"
+
+namespace ms {
+
+/// Add complex AWGN with the given noise power (variance split evenly
+/// between I and Q).
+Iq add_noise_power(std::span<const Cf> x, double noise_power, Rng& rng);
+
+/// Add complex AWGN so the resulting SNR (signal mean power over noise
+/// power) equals `snr_db`.  Silence passes through unchanged.
+Iq add_awgn(std::span<const Cf> x, double snr_db, Rng& rng);
+
+/// Real-valued variant for envelope-domain traces.
+Samples add_awgn(std::span<const float> x, double snr_db, Rng& rng);
+
+/// Pure complex noise of length n and total power `noise_power`.
+Iq complex_noise(std::size_t n, double noise_power, Rng& rng);
+
+}  // namespace ms

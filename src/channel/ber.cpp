@@ -1,0 +1,51 @@
+#include "channel/ber.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace ms {
+
+double qfunc(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double ber_bpsk(double ebn0_db) {
+  return qfunc(std::sqrt(2.0 * db_to_linear(ebn0_db)));
+}
+
+double ber_dbpsk(double ebn0_db) {
+  return 0.5 * std::exp(-db_to_linear(ebn0_db));
+}
+
+double ber_dqpsk(double ebn0_db) {
+  // Standard tight approximation using the effective 3 dB DQPSK penalty.
+  const double g = db_to_linear(ebn0_db);
+  return qfunc(std::sqrt(2.0 * g * (1.0 - std::sqrt(0.5))) * 2.0 /
+               std::sqrt(2.0 - std::sqrt(2.0)));
+}
+
+double ber_qam16(double ebn0_db) {
+  const double g = db_to_linear(ebn0_db);
+  // Per-bit BER for Gray 16-QAM: (3/8)·erfc(sqrt(2g/5)) approximation.
+  return 0.375 * std::erfc(std::sqrt(0.4 * g));
+}
+
+double ber_fsk_noncoherent(double ebn0_db) {
+  return 0.5 * std::exp(-db_to_linear(ebn0_db) / 2.0);
+}
+
+double ber_zigbee(double snr_chip_db) {
+  // 802.15.4 SER union bound over 16 PN words (32 chips, ~17-chip min
+  // distance), then SER→BER for orthogonal signaling (8/15 factor).
+  const double snr_chip = db_to_linear(snr_chip_db);
+  const double ser =
+      std::min(1.0, 15.0 * qfunc(std::sqrt(2.0 * snr_chip * 17.0)));
+  return (8.0 / 15.0) * ser;
+}
+
+double per_from_ber(double ber, double n_bits) {
+  ber = std::clamp(ber, 0.0, 1.0);
+  return 1.0 - std::pow(1.0 - ber, n_bits);
+}
+
+}  // namespace ms

@@ -1,0 +1,61 @@
+#include "channel/multipath.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace ms {
+
+MultipathChannel sample_multipath(const MultipathConfig& cfg,
+                                  double sample_rate_hz, Rng& rng) {
+  MS_CHECK(cfg.n_taps >= 1);
+  MS_CHECK(sample_rate_hz > 0.0);
+  MultipathChannel ch;
+  ch.taps.reserve(cfg.n_taps);
+  ch.delays.reserve(cfg.n_taps);
+
+  const double k = db_to_linear(cfg.k_factor_db);
+  const double scatter_power = 1.0 / (1.0 + k);
+  const double los_power = k / (1.0 + k);
+
+  // LoS tap: fixed amplitude, random absolute phase.
+  const double los_phase = rng.uniform(0.0, 2.0 * M_PI);
+  ch.taps.push_back(Cf(static_cast<float>(std::sqrt(los_power) * std::cos(los_phase)),
+                       static_cast<float>(std::sqrt(los_power) * std::sin(los_phase))));
+  ch.delays.push_back(0);
+
+  if (cfg.n_taps > 1) {
+    // Exponential power-delay profile over the scattered taps.
+    std::vector<double> weights(cfg.n_taps - 1);
+    double wsum = 0.0;
+    for (unsigned t = 0; t < cfg.n_taps - 1; ++t) {
+      weights[t] = std::exp(-static_cast<double>(t + 1) / 2.0);
+      wsum += weights[t];
+    }
+    for (unsigned t = 0; t < cfg.n_taps - 1; ++t) {
+      const double p = scatter_power * weights[t] / wsum;
+      const double sigma = std::sqrt(p / 2.0);
+      ch.taps.push_back(Cf(static_cast<float>(rng.normal(0.0, sigma)),
+                           static_cast<float>(rng.normal(0.0, sigma))));
+      const double delay_s =
+          cfg.delay_spread_s * static_cast<double>(t + 1);
+      ch.delays.push_back(std::max<std::size_t>(
+          1, static_cast<std::size_t>(delay_s * sample_rate_hz)));
+    }
+  }
+  return ch;
+}
+
+Iq MultipathChannel::apply(std::span<const Cf> x) const {
+  MS_CHECK(taps.size() == delays.size());
+  MS_CHECK(!taps.empty());
+  Iq out(x.size(), Cf(0.0f, 0.0f));
+  for (std::size_t t = 0; t < taps.size(); ++t) {
+    const std::size_t d = delays[t];
+    for (std::size_t i = d; i < x.size(); ++i) out[i] += x[i - d] * taps[t];
+  }
+  return out;
+}
+
+}  // namespace ms

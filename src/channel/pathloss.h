@@ -1,0 +1,30 @@
+// Indoor propagation: log-distance path loss with wall penetration losses.
+//
+// Calibrated for the paper's 2.4 GHz office/hallway testbed: free-space
+// reference at 1 m, exponent 2.0 in line-of-sight hallways, 2.8 through
+// office clutter, and per-material wall losses for the occlusion
+// experiments (Fig 9 / Fig 15).
+#pragma once
+
+namespace ms {
+
+enum class WallMaterial { None, Drywall, Wood, Concrete };
+
+/// One-way attenuation of a wall at 2.4 GHz (dB).
+double wall_loss_db(WallMaterial m);
+
+struct PathLossModel {
+  double freq_hz = 2.44e9;
+  double exponent = 2.0;        ///< 2.0 LoS hallway, ~2.4 NLoS office
+  double reference_m = 1.0;
+  double shadowing_sigma_db = 0.0;  ///< log-normal shadowing (0 = off)
+
+  /// Deterministic part of the path loss (dB) at distance d.
+  double loss_db(double distance_m) const;
+};
+
+/// Convenience models used throughout the evaluation.
+PathLossModel los_model();
+PathLossModel nlos_model();
+
+}  // namespace ms

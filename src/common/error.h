@@ -1,0 +1,41 @@
+// Error handling for the multiscatter library.
+//
+// The library throws ms::Error (derived from std::runtime_error) for
+// violations of documented preconditions on public APIs, and uses
+// MS_ASSERT for internal invariants.  No error codes: per the C++ Core
+// Guidelines (E.2) we use exceptions to signal that a function cannot
+// perform its assigned task.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ms {
+
+/// Exception type thrown on precondition violations and unrecoverable
+/// processing failures anywhere in the multiscatter library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": check failed: " + expr + (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace ms
+
+/// Precondition / invariant check that is always on (cheap checks only).
+#define MS_CHECK(expr)                                         \
+  do {                                                         \
+    if (!(expr)) ::ms::detail::fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MS_CHECK_MSG(expr, msg)                                   \
+  do {                                                            \
+    if (!(expr)) ::ms::detail::fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,93 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ms {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1)
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  MS_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * m;
+  has_spare_ = true;
+  return u * m;
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+Bits Rng::bits(std::size_t n) {
+  Bits out(n);
+  for (auto& b : out) b = static_cast<uint8_t>((*this)() & 1u);
+  return out;
+}
+
+Bytes Rng::bytes(std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<uint8_t>((*this)() & 0xffu);
+  return out;
+}
+
+Rng Rng::fork() { return Rng((*this)()); }
+
+}  // namespace ms

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the simulator (AWGN, payload generation,
+// packet schedules, Monte-Carlo sweeps) draws from ms::Rng so that whole
+// experiments are reproducible from a single seed.  The engine is
+// xoshiro256**, which is small, fast, and high quality; it is seeded via
+// splitmix64 so that nearby integer seeds produce uncorrelated streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace ms {
+
+/// xoshiro256** engine with convenience draws for the simulator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Raw 64-bit draw (UniformRandomBitGenerator interface).
+  std::uint64_t operator()();
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+  /// Standard normal draw (Marsaglia polar method, cached spare).
+  double normal();
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p);
+  /// n independent fair bits.
+  Bits bits(std::size_t n);
+  /// n independent uniform bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Derive an independent child generator (for per-trial streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace ms

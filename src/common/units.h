@@ -1,0 +1,33 @@
+// Unit conversions and physical constants used across the link-budget and
+// analog models.  All power quantities flow through these helpers so that
+// dB arithmetic stays in one place.
+#pragma once
+
+#include <cmath>
+
+namespace ms {
+
+inline constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
+inline constexpr double kBoltzmann = 1.380649e-23;      // J/K
+inline constexpr double kRoomTempKelvin = 290.0;
+
+/// Thermal noise floor in dBm for the given bandwidth (kTB at 290 K).
+inline double thermal_noise_dbm(double bandwidth_hz) {
+  return 10.0 * std::log10(kBoltzmann * kRoomTempKelvin * bandwidth_hz) + 30.0;
+}
+
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+inline double linear_to_db(double lin) { return 10.0 * std::log10(lin); }
+
+inline double dbm_to_watts(double dbm) { return std::pow(10.0, (dbm - 30.0) / 10.0); }
+inline double watts_to_dbm(double w) { return 10.0 * std::log10(w) + 30.0; }
+
+inline double wavelength_m(double freq_hz) { return kSpeedOfLight / freq_hz; }
+
+/// Free-space path loss (dB) at distance d (m) and frequency f (Hz).
+inline double fspl_db(double distance_m, double freq_hz) {
+  if (distance_m < 1e-3) distance_m = 1e-3;
+  return 20.0 * std::log10(4.0 * M_PI * distance_m / wavelength_m(freq_hz));
+}
+
+}  // namespace ms

@@ -1,0 +1,71 @@
+#include "core/baseline/baseline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/ber.h"
+#include "common/error.h"
+
+namespace ms {
+
+BaselineConfig hitchhike_config() {
+  BaselineConfig c;
+  c.name = "hitchhike";
+  c.carrier = Protocol::WifiB;
+  c.tag_bits_per_symbol = 1.0;
+  c.sync_efficiency = 0.85;  // two-RX alignment overhead
+  return c;
+}
+
+BaselineConfig freerider_config() {
+  BaselineConfig c;
+  c.name = "freerider";
+  c.carrier = Protocol::WifiB;
+  // FreeRider's generalized codeword translation is more conservative:
+  // multi-symbol codewords cut the per-symbol tag capacity.
+  c.tag_bits_per_symbol = 0.33;
+  c.sync_efficiency = 0.85;
+  return c;
+}
+
+TwoReceiverBaseline::TwoReceiverBaseline(BaselineConfig cfg) : cfg_(cfg) {}
+
+double TwoReceiverBaseline::tag_ber(double original_snr_db,
+                                    double backscatter_snr_db) const {
+  const double a = productive_ber(cfg_.carrier, original_snr_db);
+  const double b = productive_ber(cfg_.carrier, backscatter_snr_db);
+  // XOR of two independent symbol streams: wrong iff exactly one is wrong.
+  return a * (1.0 - b) + b * (1.0 - a);
+}
+
+double TwoReceiverBaseline::mean_offset_symbols(double distance_m) const {
+  // Fig 9b: offsets grow with range as timing uncertainty accumulates;
+  // ~8 symbols by 8 m for Hitchhike.
+  return std::min(8.0, std::max(0.0, distance_m));
+}
+
+unsigned TwoReceiverBaseline::sample_offset_symbols(double distance_m,
+                                                    Rng& rng) const {
+  const double mean = mean_offset_symbols(distance_m);
+  const double v = rng.normal(mean, 1.0);
+  return static_cast<unsigned>(std::clamp(v, 0.0, 8.0) + 0.5);
+}
+
+double TwoReceiverBaseline::tag_throughput_bps(double airtime_duty,
+                                               double original_snr_db,
+                                               double backscatter_snr_db) const {
+  const ProtocolInfo& info = protocol_info(cfg_.carrier);
+  const double symbol_rate = 1.0 / info.symbol_duration_s;
+  const double raw =
+      airtime_duty * symbol_rate * cfg_.tag_bits_per_symbol * cfg_.sync_efficiency;
+  // XOR decoding works per 32-bit codeword block: a block whose
+  // original-channel copy is corrupted is unrecoverable no matter how
+  // clean the backscattered copy is.
+  constexpr double kBlockBits = 32.0;
+  const double orig_block_ok = std::pow(
+      1.0 - productive_ber(cfg_.carrier, original_snr_db), kBlockBits);
+  const double ber = tag_ber(original_snr_db, backscatter_snr_db);
+  return raw * orig_block_ok * std::max(0.0, 1.0 - 2.0 * ber);
+}
+
+}  // namespace ms

@@ -1,0 +1,62 @@
+// Two-receiver codeword-translation baselines: Hitchhike and FreeRider.
+//
+// These systems decode tag data by XORing codewords captured by two
+// synchronized receivers — one hearing the original packet, one hearing
+// the frequency-shifted backscattered packet.  Two failure modes the
+// paper measures (Fig 9, Fig 15):
+//   1. Original-channel dependency: a tag bit is wrong whenever exactly
+//      one of the two channels corrupts the codeword, so occluding the
+//      original channel destroys tag BER even with an error-free
+//      backscatter channel.
+//   2. Modulation offset: the tag cannot symbol-synchronize with the
+//      carrier, so the two bitstreams misalign by up to ~8 symbols at
+//      range, costing sync overhead and residual errors.
+#pragma once
+
+#include "channel/link.h"
+#include "common/rng.h"
+#include "phy/protocol.h"
+
+namespace ms {
+
+struct BaselineConfig {
+  const char* name = "hitchhike";
+  Protocol carrier = Protocol::WifiB;
+  double tag_bits_per_symbol = 1.0;  ///< codeword-translation capacity
+  double sync_efficiency = 1.0;      ///< throughput lost to 2-RX alignment
+};
+
+/// Hitchhike: 802.11b-only codeword translation, 1 tag bit per symbol.
+BaselineConfig hitchhike_config();
+
+/// FreeRider: multi-protocol codeword translation; lower effective rate
+/// (longer codewords + conservative sync margins).
+BaselineConfig freerider_config();
+
+class TwoReceiverBaseline {
+ public:
+  explicit TwoReceiverBaseline(BaselineConfig cfg);
+
+  /// Tag-data BER given the SNRs of the two channels: an XOR decode is
+  /// wrong when exactly one input symbol is wrong.
+  double tag_ber(double original_snr_db, double backscatter_snr_db) const;
+
+  /// Expected modulation offset (symbols) at a tag→receiver distance —
+  /// the Fig 9b effect.  Deterministic mean; sample_offset adds jitter.
+  double mean_offset_symbols(double distance_m) const;
+  unsigned sample_offset_symbols(double distance_m, Rng& rng) const;
+
+  /// Tag goodput: codeword translation decodes in 32-bit blocks; a block
+  /// is lost whenever its ORIGINAL-channel copy is corrupted (the
+  /// dependency multiscatter removes), and residual XOR bit errors
+  /// discount the remainder.
+  double tag_throughput_bps(double airtime_duty, double original_snr_db,
+                            double backscatter_snr_db) const;
+
+  const BaselineConfig& config() const { return cfg_; }
+
+ private:
+  BaselineConfig cfg_;
+};
+
+}  // namespace ms

@@ -1,0 +1,60 @@
+#include "core/ident/frontend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analog/adc.h"
+#include "analog/rectifier.h"
+#include "common/error.h"
+#include "dsp/fir.h"
+#include "dsp/mixer.h"
+#include "dsp/ops.h"
+
+namespace ms {
+
+Samples rf_envelope(std::span<const Cf> iq, double sample_rate_hz,
+                    const FrontEndConfig& cfg) {
+  MS_CHECK(sample_rate_hz > 0.0);
+  if (iq.empty()) return {};
+  const double cutoff_frac =
+      std::min(0.49, cfg.bandwidth_hz / sample_rate_hz);
+  const std::vector<float> taps =
+      design_lowpass(cutoff_frac, cfg.lowpass_taps);
+  const Iq filtered = fir_filter(iq, taps);
+  Samples env = envelope(filtered);
+
+  // FM-to-AM conversion: gain slope of the matching network.  The slope
+  // is only linear within the network's passband, so the frequency
+  // excursion saturates at ±fm_ref — otherwise the near-±π phase jumps
+  // of PSK transitions (whose sign is noise-random) would swing the gain
+  // wildly instead of being a small dip.
+  const Samples inst_freq = discriminate(filtered, sample_rate_hz);
+  const float f_sat = static_cast<float>(cfg.fm_ref_hz);
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    float f = i < inst_freq.size() ? inst_freq[i] : 0.0f;
+    f = std::clamp(f, -f_sat, f_sat);
+    const double gain =
+        1.0 + cfg.fm_to_am_gain * static_cast<double>(f) / cfg.fm_ref_hz;
+    env[i] *= static_cast<float>(gain);
+  }
+
+  for (float& v : env) v *= static_cast<float>(cfg.peak_voltage);
+  return env;
+}
+
+Samples acquire_trace(std::span<const Cf> iq, double sample_rate_hz,
+                      double adc_rate_hz, const FrontEndConfig& cfg) {
+  const Samples env = rf_envelope(iq, sample_rate_hz, cfg);
+  const Rectifier rect(cfg.rectifier);
+  const Samples v = rect.run(env, sample_rate_hz);
+  AdcConfig adc_cfg;
+  adc_cfg.sample_rate_hz = adc_rate_hz;
+  // §2.3.2 note 3: the reference voltage is tuned to the full-scale range
+  // of the input so the quantizer neither clips strong inputs nor wastes
+  // codes on weak ones.
+  adc_cfg.vref = std::max(0.01, static_cast<double>(peak_abs(v)));
+  const Adc adc(adc_cfg);
+  return adc.capture(v, sample_rate_hz);
+}
+
+}  // namespace ms

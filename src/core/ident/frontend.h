@@ -1,0 +1,40 @@
+// Tag RF front-end model: what the rectifier actually sees.
+//
+// The tag has no mixer, so it observes the instantaneous RF amplitude
+// through a band-limited matching network.  Two physical effects give the
+// four protocols their distinguishable envelope shapes (Fig 5a):
+//   1. Band-limiting: phase discontinuities in PSK/DSSS signals become
+//      amplitude notches after the front-end filter.
+//   2. FM-to-AM conversion: the matching network's gain slope converts
+//      GFSK/OQPSK frequency excursions into small amplitude ripple —
+//      without this, a constant-envelope BLE signal would be featureless
+//      (and BLE is indeed the hardest protocol to identify: 81.8%).
+#pragma once
+
+#include <span>
+
+#include "analog/rectifier.h"
+#include "dsp/iq.h"
+
+namespace ms {
+
+struct FrontEndConfig {
+  double bandwidth_hz = 4.5e6;  ///< matching-network one-sided bandwidth
+  std::size_t lowpass_taps = 31;
+  double fm_to_am_gain = 0.20;   ///< amplitude ripple per fm_ref_hz of offset
+  double fm_ref_hz = 500e3;      ///< GFSK f1−f0 (modulation index 0.5)
+  double peak_voltage = 0.5;     ///< antenna voltage at unit waveform power
+  RectifierConfig rectifier = multiscatter_rectifier();
+};
+
+/// RF amplitude envelope (volts) the rectifier input sees for a complex
+/// baseband excitation at `sample_rate_hz`.
+Samples rf_envelope(std::span<const Cf> iq, double sample_rate_hz,
+                    const FrontEndConfig& cfg = {});
+
+/// Full acquisition chain: front end → multiscatter rectifier → ADC at
+/// `adc_rate_hz` (9-bit).  This is the trace the identifier consumes.
+Samples acquire_trace(std::span<const Cf> iq, double sample_rate_hz,
+                      double adc_rate_hz, const FrontEndConfig& cfg = {});
+
+}  // namespace ms

@@ -1,0 +1,78 @@
+#include "core/ident/identifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/correlate.h"
+#include "dsp/ops.h"
+
+namespace ms {
+
+ProtocolIdentifier::ProtocolIdentifier(IdentifierConfig cfg)
+    : cfg_(std::move(cfg)), templates_(build_templates(cfg_.templates)) {}
+
+std::size_t ProtocolIdentifier::detect_onset(
+    std::span<const float> adc_trace) const {
+  const float peak = peak_abs(adc_trace);
+  const float thr = 0.4f * peak;
+  for (std::size_t i = 0; i < adc_trace.size(); ++i)
+    if (adc_trace[i] >= thr) return i;
+  return 0;
+}
+
+double ProtocolIdentifier::score_one(std::span<const float> trace,
+                                     std::size_t onset,
+                                     std::size_t idx) const {
+  const std::size_t lp = cfg_.templates.preprocess_len;
+  const std::size_t margin = std::max<std::size_t>(
+      2, static_cast<std::size_t>(cfg_.align_search_s *
+                                  cfg_.templates.adc_rate_hz));
+  const std::size_t lo = onset > margin ? onset - margin : 0;
+  const std::size_t hi = onset + margin;
+
+  if (cfg_.compute == ComputeMode::FullPrecision) {
+    const Samples& tmpl = templates_.matched[idx];
+    double best = -1.0;
+    for (std::size_t off = lo;
+         off <= hi && off + lp + tmpl.size() <= trace.size(); ++off)
+      best = std::max(best, pearson(trace.subspan(off + lp, tmpl.size()), tmpl));
+    return best;
+  }
+  const std::vector<int8_t>& tmpl = templates_.one_bit[idx];
+  double best = -1.0;
+  for (std::size_t off = lo;
+       off <= hi && off + lp + tmpl.size() <= trace.size(); ++off) {
+    const std::vector<int8_t> bits = one_bit_window(trace, off, lp, tmpl.size());
+    best = std::max(best, sign_correlation(bits, tmpl));
+  }
+  return best;
+}
+
+std::array<double, 4> ProtocolIdentifier::scores(
+    std::span<const float> adc_trace) const {
+  const std::size_t onset = detect_onset(adc_trace);
+  std::array<double, 4> out{};
+  for (std::size_t i = 0; i < 4; ++i) out[i] = score_one(adc_trace, onset, i);
+  return out;
+}
+
+std::optional<Protocol> ProtocolIdentifier::identify(
+    std::span<const float> adc_trace) const {
+  if (peak_abs(adc_trace) < cfg_.min_trigger_v) return std::nullopt;
+  const std::size_t onset = detect_onset(adc_trace);
+  if (cfg_.decision == DecisionMode::Ordered) {
+    for (Protocol p : cfg_.order) {
+      const std::size_t idx = protocol_index(p);
+      if (score_one(adc_trace, onset, idx) > cfg_.thresholds[idx]) return p;
+    }
+    return std::nullopt;
+  }
+  const std::array<double, 4> s = scores(adc_trace);
+  const std::size_t best = static_cast<std::size_t>(
+      std::distance(s.begin(), std::max_element(s.begin(), s.end())));
+  if (s[best] < cfg_.blind_min_score) return std::nullopt;
+  return kAllProtocols[best];
+}
+
+}  // namespace ms

@@ -1,0 +1,45 @@
+// Packed 1-bit correlator — the datapath the AGLN250 actually implements.
+//
+// Samples and template are ±1 values stored one bit per position (1 = +1).
+// The correlation sum of products is then
+//     Σ aᵢ·bᵢ = n − 2·popcount(a XOR b)
+// i.e. an XNOR array feeding a popcount adder tree: no multipliers, which
+// is exactly the Table 2 "Nano FPGA Impl." circuit.  This class is the
+// software twin of that circuit: bit-exact against the reference
+// sign_correlation() and ~64× denser.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ms {
+
+/// A ±1 vector packed one bit per position (bit = 1 ⇔ value = +1).
+class PackedBits {
+ public:
+  PackedBits() = default;
+  explicit PackedBits(std::span<const int8_t> signs);
+
+  std::size_t size() const { return size_; }
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  /// Sum of products Σ aᵢ·bᵢ via XNOR + popcount; sizes must match.
+  long dot(const PackedBits& other) const;
+
+  /// Normalized sign correlation in [−1, 1] (matches sign_correlation()).
+  double correlation(const PackedBits& other) const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+/// Sliding packed correlation of a long ±1 stream against a template:
+/// out[i] = correlation of stream[i .. i+len) with the template.  The
+/// stream is re-packed per offset shift using word-level funnel shifts,
+/// so the inner loop is pure popcount.
+std::vector<double> packed_sliding_correlation(
+    std::span<const int8_t> stream, const PackedBits& tmpl);
+
+}  // namespace ms

@@ -1,0 +1,64 @@
+#include "core/ident/resources.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ms {
+
+CorrelatorResources naive_correlator(std::size_t template_len) {
+  MS_CHECK(template_len >= 2);
+  CorrelatorResources r;
+  r.multipliers = template_len;
+  r.adders = template_len - 1;
+  r.dffs = r.multipliers * kDffPerMultiplier9x9 + r.adders * kDffPerAdder9x9;
+  return r;
+}
+
+CorrelatorResources naive_four_protocols(std::size_t template_len) {
+  const CorrelatorResources one = naive_correlator(template_len);
+  return {one.multipliers * 4, one.adders * 4, one.dffs * 4};
+}
+
+CorrelatorResources one_bit_four_protocols(std::size_t template_len) {
+  MS_CHECK(template_len >= 2);
+  CorrelatorResources r;
+  r.multipliers = 0;
+  // One XNOR + popcount slice per tap; calibrated to the paper's 2,860
+  // DFFs for 4 × 120 taps → ~5.96 DFFs per tap.
+  constexpr double kDffPerTap = 2860.0 / 480.0;
+  r.adders = 4 * (template_len - 1);
+  r.dffs = static_cast<std::size_t>(
+      std::lround(kDffPerTap * 4.0 * static_cast<double>(template_len)));
+  return r;
+}
+
+bool fits_agln250(const CorrelatorResources& r) {
+  return r.dffs <= kAgln250Dffs;
+}
+
+IdentPowerEstimate ident_power(double sample_rate_hz, bool one_bit_quantized,
+                               std::size_t template_len) {
+  MS_CHECK(sample_rate_hz > 0.0);
+  IdentPowerEstimate e;
+  const double scale = static_cast<double>(template_len) / 120.0;
+  if (!one_bit_quantized) {
+    // Anchor: 34,751 LUTs / 564 mW at 20 MS/s.  LUTs track the datapath
+    // width (template size); dynamic power tracks LUTs × clock rate.
+    e.luts = static_cast<std::size_t>(std::lround(34751.0 * scale));
+    e.power_mw = 564.0 * scale * (sample_rate_hz / 20e6);
+    return e;
+  }
+  // Anchors: 1,574 LUTs / 12 mW at 20 MS/s; 1,070 LUTs / 2 mW at
+  // 2.5 MS/s.  Linear interpolation in rate between a fixed part and a
+  // rate-proportional pipeline part.
+  const double lut_fixed = 998.0, lut_rate = 576.0;       // fit of the 2 anchors
+  const double pw_fixed = 0.5714, pw_rate = 11.4286;      // mW
+  const double f = sample_rate_hz / 20e6;
+  e.luts = static_cast<std::size_t>(
+      std::lround((lut_fixed + lut_rate * f) * scale));
+  e.power_mw = (pw_fixed + pw_rate * f) * scale;
+  return e;
+}
+
+}  // namespace ms

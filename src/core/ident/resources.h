@@ -1,0 +1,53 @@
+// FPGA resource and power estimation (Tables 2 and 5).
+//
+// Cost constants come from the paper: a 9×9 multiplier costs 259
+// D-flip-flops, a 9×9 adder costs 19; the AGLN250 provides 6,144 DFFs in
+// total.  The 1-bit implementation replaces multipliers with sign
+// agreement (XNOR + popcount), whose per-tap cost is calibrated to the
+// paper's 2,860-DFF four-protocol implementation at template size 120.
+// LUT/power figures are anchored at Table 5's three measured setups and
+// interpolated elsewhere.
+#pragma once
+
+#include <cstddef>
+
+namespace ms {
+
+inline constexpr std::size_t kDffPerMultiplier9x9 = 259;
+inline constexpr std::size_t kDffPerAdder9x9 = 19;
+inline constexpr std::size_t kAgln250Dffs = 6144;
+inline constexpr std::size_t kAgln250StorageBits = 36 * 1024;
+
+struct CorrelatorResources {
+  std::size_t multipliers = 0;
+  std::size_t adders = 0;
+  std::size_t dffs = 0;
+};
+
+/// Full-precision correlator for one protocol at the given template size
+/// (Table 2's per-protocol rows: 120 mult, 119 add, 33,341 DFF at 120).
+CorrelatorResources naive_correlator(std::size_t template_len);
+
+/// Naive four-protocol total (Table 2 "Total (Naive Impl.)").
+CorrelatorResources naive_four_protocols(std::size_t template_len);
+
+/// 1-bit quantized four-protocol implementation (Table 2 "Nano FPGA
+/// Impl.": 2,860 DFFs at template size 120; no multipliers).
+CorrelatorResources one_bit_four_protocols(std::size_t template_len);
+
+/// Whether an implementation fits the AGLN250.
+bool fits_agln250(const CorrelatorResources& r);
+
+struct IdentPowerEstimate {
+  double power_mw = 0.0;
+  std::size_t luts = 0;
+};
+
+/// Table 5's model: LUTs and simulated Artix-7 power for the
+/// identification pipeline at a sampling rate with or without ±1
+/// quantization.  Anchored exactly at the three measured setups
+/// (20 MS/s no-quant, 20 MS/s ±1, 2.5 MS/s ±1).
+IdentPowerEstimate ident_power(double sample_rate_hz, bool one_bit_quantized,
+                               std::size_t template_len = 120);
+
+}  // namespace ms

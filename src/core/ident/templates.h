@@ -1,0 +1,60 @@
+// Per-protocol envelope templates (§2.2.2).
+//
+// A template is the clean ADC trace of a protocol's packet-detection field
+// after the front end, rectifier, and ADC — exactly what the tag stores in
+// its 36 kb FPGA memory.  The template window splits into a preprocessing
+// part of L_p samples (used only for DC-threshold estimation) and a
+// matching part of L_t samples (correlated against the live trace).
+//
+// The extended window (§2.3.2) stretches the deterministic region to
+// 40 µs: BLE adds the constant advertising access address, 802.11n adds
+// the HT-STF/HT-LTF fields, and 802.11b/ZigBee preambles are already
+// longer than 40 µs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/ident/frontend.h"
+#include "dsp/iq.h"
+#include "phy/protocol.h"
+
+namespace ms {
+
+/// Native complex-baseband sample rate at which each PHY synthesizes
+/// waveforms in this simulator.
+double native_sample_rate(Protocol p);
+
+/// Clean packet-detection waveform: the minimal 8 µs window, or the
+/// 40 µs extended window (clipped to the protocol's deterministic length).
+Iq clean_preamble(Protocol p, bool extended);
+
+struct TemplateParams {
+  double adc_rate_hz = 20e6;
+  std::size_t preprocess_len = 40;  ///< L_p
+  std::size_t match_len = 120;      ///< L_t
+  bool extended = false;
+  FrontEndConfig front_end;
+};
+
+struct TemplateSet {
+  TemplateParams params;
+  std::array<Samples, 4> matched;            ///< normalized, full precision
+  std::array<std::vector<int8_t>, 4> one_bit;  ///< ±1 quantized
+
+  /// FPGA storage cost of the 1-bit templates (§2.3.2 note 2).
+  std::size_t storage_bits() const;
+};
+
+/// Build the four templates by pushing each protocol's clean preamble
+/// through the acquisition chain at the given ADC rate.
+TemplateSet build_templates(const TemplateParams& params);
+
+/// Normalize trace[offset+Lp .. offset+Lp+Lt) using the mean of the
+/// preceding L_p samples as the DC threshold — the FPGA's preprocessing.
+std::vector<int8_t> one_bit_window(std::span<const float> trace,
+                                   std::size_t offset, std::size_t lp,
+                                   std::size_t lt);
+
+}  // namespace ms

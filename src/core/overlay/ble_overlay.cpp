@@ -1,0 +1,71 @@
+#include "core/overlay/ble_overlay.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ms {
+
+BleOverlay::BleOverlay(OverlayParams params, BleConfig phy_cfg)
+    : OverlayCodec(params), phy_(phy_cfg) {}
+
+Iq BleOverlay::make_carrier(std::span<const uint8_t> productive_bits) const {
+  // Spread: every productive bit is held for κ symbol periods, so the
+  // reference symbol and its κ−1 copies are identical on the air.
+  const Bits spread = repeat_bits(productive_bits, params_.kappa);
+  return phy_.modulate_bits(spread);
+}
+
+Iq BleOverlay::tag_modulate(std::span<const Cf> carrier,
+                            std::span<const uint8_t> tag_bits) const {
+  const std::size_t sps = phy_.config().samples_per_symbol;
+  const std::size_t seq_samples = params_.kappa * sps;
+  MS_CHECK(carrier.size() % seq_samples == 0);
+  const std::size_t n_seq = carrier.size() / seq_samples;
+  MS_CHECK(tag_bits.size() <= tag_capacity(n_seq));
+
+  Iq out(carrier.begin(), carrier.end());
+  const double w = 2.0 * M_PI * tag_shift_hz() / sample_rate_hz();
+  const std::size_t groups = params_.tag_bits_per_sequence();
+  std::size_t bit_idx = 0;
+  for (std::size_t seq = 0; seq < n_seq; ++seq) {
+    for (std::size_t g = 0; g < groups && bit_idx < tag_bits.size(); ++g, ++bit_idx) {
+      if (!tag_bits[bit_idx]) continue;
+      const std::size_t begin =
+          seq * seq_samples + (1 + g * params_.gamma) * sps;
+      // The RF switch toggling at Δf multiplies the carrier by
+      // exp(j2πΔf t); the phase restarts at each switching event.
+      for (std::size_t k = 0; k < params_.gamma * sps; ++k) {
+        const double phi = w * static_cast<double>(k);
+        out[begin + k] *= Cf(static_cast<float>(std::cos(phi)),
+                             static_cast<float>(std::sin(phi)));
+      }
+    }
+  }
+  return out;
+}
+
+OverlayDecoded BleOverlay::decode(std::span<const Cf> rx,
+                                  std::size_t n_sequences) const {
+  const std::size_t n_sym = n_sequences * params_.kappa;
+  const Samples f = phy_.symbol_frequencies(rx, n_sym);
+  const std::size_t groups = params_.tag_bits_per_sequence();
+  const float half_shift = static_cast<float>(tag_shift_hz() / 2.0);
+
+  OverlayDecoded out;
+  for (std::size_t seq = 0; seq < n_sequences; ++seq) {
+    const float f_ref = f[seq * params_.kappa];
+    out.productive.push_back(f_ref > 0.0f ? 1 : 0);
+    for (std::size_t g = 0; g < groups; ++g) {
+      unsigned shifted = 0;
+      for (unsigned k = 0; k < params_.gamma; ++k) {
+        const float fs = f[seq * params_.kappa + 1 + g * params_.gamma + k];
+        if (fs - f_ref > half_shift) ++shifted;
+      }
+      out.tag.push_back(2 * shifted >= params_.gamma ? 1 : 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace ms

@@ -1,0 +1,39 @@
+// Overlay codec for Bluetooth LE carriers (§2.4.2 "Bluetooth").
+//
+// Reference symbols are GFSK (modulation index 0.5, f1 − f0 = 500 kHz);
+// the tag encodes bit 1 by shifting the carrier by Δf = 500 kHz over each
+// γ-symbol group and bit 0 by leaving it alone.  The receiver compares
+// each modulatable symbol's discriminator output against the sequence's
+// reference symbol: a +Δf offset marks a tag 1 regardless of the
+// productive bit underneath.
+#pragma once
+
+#include "core/overlay/overlay.h"
+#include "phy/ble/ble.h"
+
+namespace ms {
+
+class BleOverlay : public OverlayCodec {
+ public:
+  explicit BleOverlay(OverlayParams params, BleConfig phy_cfg = {});
+
+  Protocol protocol() const override { return Protocol::Ble; }
+  double sample_rate_hz() const override { return phy_.sample_rate_hz(); }
+  std::size_t productive_bits_per_sequence() const override { return 1; }
+
+  Iq make_carrier(std::span<const uint8_t> productive_bits) const override;
+  Iq tag_modulate(std::span<const Cf> carrier,
+                  std::span<const uint8_t> tag_bits) const override;
+  OverlayDecoded decode(std::span<const Cf> rx,
+                        std::size_t n_sequences) const override;
+
+  /// The tag's frequency shift Δf = f1 − f0 (500 kHz at index 0.5).
+  double tag_shift_hz() const { return 2.0 * phy_.frequency_deviation_hz(); }
+
+  const BlePhy& phy() const { return phy_; }
+
+ private:
+  BlePhy phy_;
+};
+
+}  // namespace ms

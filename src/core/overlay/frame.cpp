@@ -1,0 +1,109 @@
+#include "core/overlay/frame.h"
+
+#include "common/error.h"
+#include "phy/crc.h"
+
+namespace ms {
+
+namespace {
+void push_value(Bits& out, unsigned value, unsigned n_bits) {
+  for (unsigned i = 0; i < n_bits; ++i) out.push_back((value >> i) & 1u);
+}
+unsigned pop_value(std::span<const uint8_t> bits, std::size_t& pos,
+                   unsigned n_bits) {
+  unsigned v = 0;
+  for (unsigned i = 0; i < n_bits; ++i)
+    v |= static_cast<unsigned>(bits[pos++] & 1u) << i;
+  return v;
+}
+}  // namespace
+
+std::size_t TagFrame::frame_bits(std::size_t payload_bytes) {
+  // 4 id + 4 seq + 1 last + 5 length + payload + 8 CRC.
+  return 14 + payload_bytes * 8 + 8;
+}
+
+Bits TagFrame::to_bits() const {
+  MS_CHECK(tag_id < 16);
+  MS_CHECK(sequence < 16);
+  MS_CHECK_MSG(payload.size() <= kMaxPayload, "frame payload too long");
+  Bits out;
+  out.reserve(frame_bits(payload.size()));
+  push_value(out, tag_id, 4);
+  push_value(out, sequence, 4);
+  push_value(out, last_segment ? 1 : 0, 1);
+  push_value(out, static_cast<unsigned>(payload.size()), 5);
+  const Bits body = bytes_to_bits_lsb(payload);
+  out.insert(out.end(), body.begin(), body.end());
+  // CRC over header nibble-fields + payload: pack header into one byte
+  // pair for the checksum.
+  Bytes crc_input = {static_cast<uint8_t>(tag_id | (sequence << 4)),
+                     static_cast<uint8_t>((last_segment ? 0x20 : 0) |
+                                          payload.size())};
+  crc_input.insert(crc_input.end(), payload.begin(), payload.end());
+  push_value(out, crc8(crc_input), 8);
+  return out;
+}
+
+std::optional<TagFrame> TagFrame::from_bits(std::span<const uint8_t> bits) {
+  if (bits.size() < frame_bits(0)) return std::nullopt;
+  std::size_t pos = 0;
+  TagFrame f;
+  f.tag_id = static_cast<uint8_t>(pop_value(bits, pos, 4));
+  f.sequence = static_cast<uint8_t>(pop_value(bits, pos, 4));
+  f.last_segment = pop_value(bits, pos, 1) != 0;
+  const unsigned len = pop_value(bits, pos, 5);
+  if (len > kMaxPayload || bits.size() < frame_bits(len)) return std::nullopt;
+  Bits body(bits.begin() + pos, bits.begin() + pos + len * 8);
+  pos += len * 8;
+  f.payload = bits_to_bytes_lsb(body);
+  const unsigned rx_crc = pop_value(bits, pos, 8);
+  Bytes crc_input = {static_cast<uint8_t>(f.tag_id | (f.sequence << 4)),
+                     static_cast<uint8_t>((f.last_segment ? 0x20 : 0) | len)};
+  crc_input.insert(crc_input.end(), f.payload.begin(), f.payload.end());
+  if (crc8(crc_input) != rx_crc) return std::nullopt;
+  return f;
+}
+
+std::vector<TagFrame> segment_reading(uint8_t tag_id,
+                                      std::span<const uint8_t> reading,
+                                      std::size_t max_frame_bits) {
+  MS_CHECK_MSG(max_frame_bits >= TagFrame::frame_bits(1),
+               "frame budget below one payload byte");
+  std::size_t per_frame = TagFrame::kMaxPayload;
+  while (TagFrame::frame_bits(per_frame) > max_frame_bits) --per_frame;
+
+  std::vector<TagFrame> frames;
+  uint8_t seq = 0;
+  std::size_t off = 0;
+  do {
+    const std::size_t n = std::min(per_frame, reading.size() - off);
+    TagFrame f;
+    f.tag_id = tag_id;
+    f.sequence = seq++ & 0x0f;
+    f.payload.assign(reading.begin() + off, reading.begin() + off + n);
+    off += n;
+    f.last_segment = off >= reading.size();
+    frames.push_back(std::move(f));
+  } while (off < reading.size());
+  return frames;
+}
+
+std::optional<Bytes> FrameAssembler::push(const TagFrame& frame) {
+  Partial& p = partial_[frame.tag_id];
+  if (frame.sequence != p.next_sequence) {
+    // Lost a segment: restart from this frame if it opens a reading.
+    p = Partial{};
+    if (frame.sequence != 0) return std::nullopt;
+  }
+  p.data.insert(p.data.end(), frame.payload.begin(), frame.payload.end());
+  p.next_sequence = (frame.sequence + 1) & 0x0f;
+  if (!frame.last_segment) return std::nullopt;
+  Bytes out = std::move(p.data);
+  partial_.erase(frame.tag_id);
+  return out;
+}
+
+void FrameAssembler::reset(uint8_t tag_id) { partial_.erase(tag_id); }
+
+}  // namespace ms

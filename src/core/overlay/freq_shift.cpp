@@ -1,0 +1,58 @@
+#include "core/overlay/freq_shift.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/mixer.h"
+
+namespace ms {
+
+Iq tag_square_shift(std::span<const Cf> x, double sample_rate_hz,
+                    const TagShiftConfig& cfg) {
+  MS_CHECK(cfg.harmonics == 1 || cfg.harmonics == 3 || cfg.harmonics == 5);
+  const double offset_hz = cfg.oscillator_ppm * 1e-6 * cfg.carrier_hz;
+  const double f = cfg.shift_hz + offset_hz;
+  // Square-wave Fourier series: (4/π)·Σ sin((2k+1)ωt)/(2k+1).  For a
+  // complex-exponential SSB approximation per harmonic, amplitude of the
+  // n-th image is (2/π)/n.
+  Iq out(x.size(), Cf(0.0f, 0.0f));
+  for (unsigned n = 1; n <= cfg.harmonics; n += 2) {
+    const float amp = static_cast<float>(2.0 / (M_PI * n));
+    const Iq img = frequency_shift(x, f * n, sample_rate_hz);
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] += img[i] * amp;
+  }
+  return out;
+}
+
+Iq receiver_downmix(std::span<const Cf> x, double sample_rate_hz,
+                    double shift_hz, double offset_correction_hz) {
+  return frequency_shift(x, -(shift_hz + offset_correction_hz),
+                         sample_rate_hz);
+}
+
+double estimate_offset_hz(std::span<const Cf> rx, std::span<const Cf> reference,
+                          double sample_rate_hz, double search_hz,
+                          unsigned steps) {
+  MS_CHECK(steps >= 3);
+  MS_CHECK(!reference.empty());
+  const std::size_t n = std::min(rx.size(), reference.size());
+  double best_offset = 0.0;
+  double best_metric = -1.0;
+  for (unsigned s = 0; s < steps; ++s) {
+    const double cand =
+        -search_hz + 2.0 * search_hz * static_cast<double>(s) /
+                         static_cast<double>(steps - 1);
+    const Iq corrected = frequency_shift(rx.first(n), -cand, sample_rate_hz);
+    Cf corr(0.0f, 0.0f);
+    for (std::size_t i = 0; i < n; ++i)
+      corr += corrected[i] * std::conj(reference[i]);
+    const double metric = std::abs(corr);
+    if (metric > best_metric) {
+      best_metric = metric;
+      best_offset = cand;
+    }
+  }
+  return best_offset;
+}
+
+}  // namespace ms

@@ -1,0 +1,45 @@
+// Tag-side frequency shifting (§2.4.2 "we first frequency shift it to
+// another channel", footnote 7 "center-frequency alignment by a
+// brute-force search").
+//
+// A backscatter tag shifts the carrier by toggling its RF switch with a
+// square wave at Δf.  Square-wave mixing is not a clean complex
+// exponential: it produces the wanted +Δf image at 2/π amplitude plus
+// odd harmonics (−Δf, ±3Δf, …).  The receiver, tuned to the shifted
+// channel, sees a residual frequency offset (tag oscillator tolerance),
+// which it removes by brute-force search over candidate offsets.
+#pragma once
+
+#include <span>
+
+#include "dsp/iq.h"
+
+namespace ms {
+
+struct TagShiftConfig {
+  double shift_hz = 25e6;        ///< channel offset (e.g. WiFi ch 1 → 6)
+  unsigned harmonics = 3;        ///< 1 = ideal mixer; 3 adds the ±3Δf image
+  double oscillator_ppm = 0.0;   ///< tag clock error (offset = ppm × f_c)
+  double carrier_hz = 2.44e9;
+};
+
+/// Apply the square-wave shift to a baseband carrier at `sample_rate_hz`.
+/// The output stays at complex baseband of the ORIGINAL channel; callers
+/// model the receiver's retune by shifting back (receiver_downmix).
+Iq tag_square_shift(std::span<const Cf> x, double sample_rate_hz,
+                    const TagShiftConfig& cfg);
+
+/// Receiver downmix of the shifted channel back to baseband, with an
+/// explicit frequency-offset correction term.
+Iq receiver_downmix(std::span<const Cf> x, double sample_rate_hz,
+                    double shift_hz, double offset_correction_hz = 0.0);
+
+/// Brute-force center-frequency alignment (footnote 7): search candidate
+/// residual offsets in [−search_hz, +search_hz] (grid of `steps`) for the
+/// one that maximizes the despread energy of `reference` (a known clean
+/// segment, e.g. the first reference symbol), and return it.
+double estimate_offset_hz(std::span<const Cf> rx, std::span<const Cf> reference,
+                          double sample_rate_hz, double search_hz,
+                          unsigned steps = 41);
+
+}  // namespace ms

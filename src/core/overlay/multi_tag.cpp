@@ -1,0 +1,43 @@
+#include "core/overlay/multi_tag.h"
+
+#include "common/error.h"
+
+namespace ms {
+
+std::size_t TdmaPlan::capacity_for(const OverlayCodec& codec,
+                                   std::size_t n_sequences,
+                                   unsigned tag_index) const {
+  MS_CHECK(tag_index < n_tags);
+  const std::size_t total = codec.tag_capacity(n_sequences);
+  // Groups tag_index, tag_index + n, tag_index + 2n, … below `total`.
+  if (tag_index >= total) return 0;
+  return (total - tag_index + n_tags - 1) / n_tags;
+}
+
+Bits tdma_multiplex(const TdmaPlan& plan, const OverlayCodec& codec,
+                    std::size_t n_sequences,
+                    std::span<const Bits> per_tag_bits) {
+  MS_CHECK(per_tag_bits.size() == plan.n_tags);
+  const std::size_t total = codec.tag_capacity(n_sequences);
+  for (unsigned t = 0; t < plan.n_tags; ++t)
+    MS_CHECK_MSG(per_tag_bits[t].size() ==
+                     plan.capacity_for(codec, n_sequences, t),
+                 "per-tag bit count must match the tag's TDMA capacity");
+  Bits out(total, 0);
+  std::vector<std::size_t> cursor(plan.n_tags, 0);
+  for (std::size_t g = 0; g < total; ++g) {
+    const unsigned owner = static_cast<unsigned>(g % plan.n_tags);
+    out[g] = per_tag_bits[owner][cursor[owner]++];
+  }
+  return out;
+}
+
+std::vector<Bits> tdma_demultiplex(const TdmaPlan& plan,
+                                   std::span<const uint8_t> decoded_tag_bits) {
+  std::vector<Bits> out(plan.n_tags);
+  for (std::size_t g = 0; g < decoded_tag_bits.size(); ++g)
+    out[g % plan.n_tags].push_back(decoded_tag_bits[g]);
+  return out;
+}
+
+}  // namespace ms

@@ -1,0 +1,40 @@
+// Multi-tag TDMA on one overlay carrier.
+//
+// Each modulatable sequence carries ⌊(κ−1)/γ⌋ tag-bit groups whose
+// sample ranges are disjoint in time, so several tags can share one
+// excitation packet by owning interleaved groups (group g belongs to tag
+// g mod N).  Physically each tag only flips its own groups, the combined
+// reflection is the concatenation, and the single receiver demultiplexes
+// after the normal overlay decode.  (The paper evaluates one tag; this
+// is the natural extension for dense deployments.)
+#pragma once
+
+#include <vector>
+
+#include "core/overlay/overlay.h"
+
+namespace ms {
+
+struct TdmaPlan {
+  unsigned n_tags = 2;
+
+  bool owns(unsigned tag_index, std::size_t group_index) const {
+    return group_index % n_tags == tag_index;
+  }
+
+  /// Tag-bit capacity of one tag across n_sequences of the codec.
+  std::size_t capacity_for(const OverlayCodec& codec, std::size_t n_sequences,
+                           unsigned tag_index) const;
+};
+
+/// Interleave each tag's bits into the global group order.  Bit vectors
+/// must match capacity_for(); the result feeds OverlayCodec::tag_modulate.
+Bits tdma_multiplex(const TdmaPlan& plan, const OverlayCodec& codec,
+                    std::size_t n_sequences,
+                    std::span<const Bits> per_tag_bits);
+
+/// Split a decoded tag stream back into per-tag streams.
+std::vector<Bits> tdma_demultiplex(const TdmaPlan& plan,
+                                   std::span<const uint8_t> decoded_tag_bits);
+
+}  // namespace ms

@@ -1,0 +1,70 @@
+#include "core/overlay/receiver.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/ident/templates.h"
+
+namespace ms {
+
+OverlayReceiver::OverlayReceiver(Protocol protocol, OverlayParams params)
+    : protocol_(protocol),
+      codec_(make_overlay_codec(protocol, params)),
+      preamble_(clean_preamble(protocol, /*extended=*/false)) {
+  for (const Cf& v : preamble_) preamble_energy_ += std::norm(v);
+  MS_CHECK(preamble_energy_ > 0.0);
+}
+
+Iq OverlayReceiver::assemble_packet(std::span<const Cf> overlay_payload) const {
+  Iq out = preamble_;
+  out.insert(out.end(), overlay_payload.begin(), overlay_payload.end());
+  return out;
+}
+
+std::optional<SyncResult> OverlayReceiver::synchronize(
+    std::span<const Cf> rx, double min_metric) const {
+  if (rx.size() < preamble_.size()) return std::nullopt;
+  SyncResult best;
+  // Sliding normalized cross-correlation.  Running window energy keeps
+  // this O(N·L) multiplies but O(N) energy updates.
+  double win_energy = 0.0;
+  for (std::size_t i = 0; i < preamble_.size(); ++i)
+    win_energy += std::norm(rx[i]);
+  for (std::size_t off = 0; off + preamble_.size() <= rx.size(); ++off) {
+    if (off > 0) {
+      win_energy += std::norm(rx[off + preamble_.size() - 1]);
+      win_energy -= std::norm(rx[off - 1]);
+    }
+    if (win_energy > 1e-12) {
+      Cf corr(0.0f, 0.0f);
+      for (std::size_t i = 0; i < preamble_.size(); ++i)
+        corr += rx[off + i] * std::conj(preamble_[i]);
+      const double metric =
+          std::abs(corr) / std::sqrt(win_energy * preamble_energy_);
+      if (metric > best.metric) {
+        best.metric = metric;
+        best.preamble_start = off;
+        best.payload_start = off + preamble_.size();
+      }
+    }
+  }
+  if (best.metric < min_metric) return std::nullopt;
+  return best;
+}
+
+std::optional<OverlayDecoded> OverlayReceiver::receive(
+    std::span<const Cf> rx, std::size_t n_sequences, double min_metric) const {
+  const auto sync = synchronize(rx, min_metric);
+  if (!sync) return std::nullopt;
+  if (sync->payload_start >= rx.size()) return std::nullopt;
+  const auto payload = rx.subspan(sync->payload_start);
+  // The codec checks it has enough samples; a truncated capture throws,
+  // which we surface as "no packet".
+  try {
+    return codec_->decode(payload, n_sequences);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ms

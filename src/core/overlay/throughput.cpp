@@ -1,0 +1,76 @@
+#include "core/overlay/throughput.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/ber.h"
+#include "common/error.h"
+
+namespace ms {
+
+std::size_t ExcitationSpec::payload_symbols() const {
+  const ProtocolInfo& info = protocol_info(protocol);
+  const double bits = static_cast<double>(payload_bytes) * 8.0;
+  return static_cast<std::size_t>(std::ceil(bits / info.bits_per_symbol));
+}
+
+double ExcitationSpec::packet_airtime_s() const {
+  const ProtocolInfo& info = protocol_info(protocol);
+  return info.preamble_duration_s +
+         static_cast<double>(payload_symbols()) * info.symbol_duration_s;
+}
+
+double ExcitationSpec::airtime_duty() const {
+  return std::min(1.0, pkt_rate_hz * packet_airtime_s());
+}
+
+Throughput overlay_throughput(Protocol p, const OverlayParams& params,
+                              double airtime_duty, double success_prob) {
+  MS_CHECK(airtime_duty >= 0.0 && airtime_duty <= 1.0);
+  MS_CHECK(success_prob >= 0.0 && success_prob <= 1.0);
+  const ProtocolInfo& info = protocol_info(p);
+  const double symbol_rate = 1.0 / info.symbol_duration_s;
+  const double seq_rate = airtime_duty * symbol_rate / params.kappa;
+  Throughput t;
+  t.productive_bps = seq_rate * info.bits_per_symbol * success_prob;
+  t.tag_bps = seq_rate *
+              static_cast<double>(params.tag_bits_per_sequence()) *
+              success_prob;
+  return t;
+}
+
+Throughput overlay_throughput_at(const ExcitationSpec& exc,
+                                 const OverlayParams& params,
+                                 const BackscatterLink& link,
+                                 double distance_m) {
+  // The commodity radio hears nothing below its sensitivity floor.
+  if (link.rssi_dbm(distance_m) < rx_sensitivity_dbm(exc.protocol))
+    return Throughput{};
+  const double snr = link.snr_db(distance_m, exc.protocol);
+  // The two streams ride the same packet but have very different bit
+  // counts: the productive stream spans the payload, while the tag
+  // stream carries only ⌊(κ−1)/γ⌋ bits per sequence.
+  const double n_seq = static_cast<double>(exc.payload_symbols()) /
+                       static_cast<double>(params.kappa);
+  const double n_prod_bits = static_cast<double>(exc.payload_bytes) * 8.0;
+  const double n_tag_bits =
+      std::max(1.0, n_seq * static_cast<double>(params.tag_bits_per_sequence()));
+  const double prod_success = 1.0 - per_from_ber(
+      productive_ber(exc.protocol, snr), n_prod_bits);
+  const double tag_success = 1.0 - per_from_ber(
+      backscatter_tag_ber(exc.protocol, snr, params.gamma), n_tag_bits);
+
+  const Throughput ideal =
+      overlay_throughput(exc.protocol, params, exc.airtime_duty(), 1.0);
+  Throughput t;
+  t.productive_bps = ideal.productive_bps * prod_success;
+  t.tag_bps = ideal.tag_bps * tag_success;
+  return t;
+}
+
+double tag_goodput_bps(const ExcitationSpec& exc, const OverlayParams& params,
+                       const BackscatterLink& link, double distance_m) {
+  return overlay_throughput_at(exc, params, link, distance_m).tag_bps;
+}
+
+}  // namespace ms

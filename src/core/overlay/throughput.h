@@ -1,0 +1,52 @@
+// Airtime-based throughput model for overlay modulation (Figs 12/13/16/18).
+//
+// Throughput follows directly from the overlay frame layout:
+//   sequence rate   = duty × symbol_rate / κ
+//   productive rate = sequence rate × bits-per-reference-symbol
+//   tag rate        = sequence rate × ⌊(κ−1)/γ⌋
+// where `duty` is the fraction of air time the excitation occupies
+// (packet rate × packet airtime) and both streams are scaled by the
+// packet success rate of the backscattered link.
+#pragma once
+
+#include "channel/link.h"
+#include "core/overlay/overlay.h"
+#include "phy/protocol.h"
+
+namespace ms {
+
+struct ExcitationSpec {
+  Protocol protocol = Protocol::WifiB;
+  double pkt_rate_hz = 100.0;
+  std::size_t payload_bytes = 300;
+
+  /// Fraction of air time the excitation occupies (0..1).
+  double airtime_duty() const;
+  /// Airtime of one packet including the preamble.
+  double packet_airtime_s() const;
+  /// Payload symbols per packet.
+  std::size_t payload_symbols() const;
+};
+
+struct Throughput {
+  double productive_bps = 0.0;
+  double tag_bps = 0.0;
+  double aggregate_bps() const { return productive_bps + tag_bps; }
+};
+
+/// Throughput at a given airtime duty and packet success probability.
+Throughput overlay_throughput(Protocol p, const OverlayParams& params,
+                              double airtime_duty, double success_prob = 1.0);
+
+/// Full pipeline: excitation spec + link geometry → packet success from
+/// the analytic BER curves → throughput.  `distance_m` is tag → receiver.
+Throughput overlay_throughput_at(const ExcitationSpec& exc,
+                                 const OverlayParams& params,
+                                 const BackscatterLink& link,
+                                 double distance_m);
+
+/// Tag-data goodput only (used by the carrier-selection policy, Fig 18b).
+double tag_goodput_bps(const ExcitationSpec& exc, const OverlayParams& params,
+                       const BackscatterLink& link, double distance_m);
+
+}  // namespace ms

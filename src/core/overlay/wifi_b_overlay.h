@@ -1,0 +1,37 @@
+// Overlay codec for 802.11b carriers (§2.4.2 "802.11b").
+//
+// Reference symbols may use DSSS-BPSK (1 Mbps), DSSS-DQPSK (2 Mbps), or
+// CCK (5.5/11 Mbps) — BPSK tag modulation (phase flip of 0/π) is
+// compatible with all of them.  Tag data is recovered by comparing each
+// modulatable symbol's despread phase against its reference symbol, with
+// majority voting over the γ-symbol groups.
+#pragma once
+
+#include "core/overlay/overlay.h"
+#include "phy/dsss/wifi_b.h"
+
+namespace ms {
+
+class WifiBOverlay : public OverlayCodec {
+ public:
+  explicit WifiBOverlay(OverlayParams params, WifiBConfig phy_cfg = {});
+
+  Protocol protocol() const override { return Protocol::WifiB; }
+  double sample_rate_hz() const override { return phy_.sample_rate_hz(); }
+  std::size_t productive_bits_per_sequence() const override {
+    return wifi_b_bits_per_symbol(phy_.config().rate);
+  }
+
+  Iq make_carrier(std::span<const uint8_t> productive_bits) const override;
+  Iq tag_modulate(std::span<const Cf> carrier,
+                  std::span<const uint8_t> tag_bits) const override;
+  OverlayDecoded decode(std::span<const Cf> rx,
+                        std::size_t n_sequences) const override;
+
+  const WifiBPhy& phy() const { return phy_; }
+
+ private:
+  WifiBPhy phy_;
+};
+
+}  // namespace ms

@@ -1,0 +1,39 @@
+// Overlay codec for 802.11n OFDM carriers (§2.4.2 "802.11n").
+//
+// IFFT is linear, so a per-symbol phase flip of π survives OFDM intact;
+// the tag-modulation unit is one 4 µs OFDM symbol.  The productive unit
+// per sequence is one OFDM symbol's interleaved coded bits (N_CBPS) —
+// callers wanting the full scramble/BCC chain wrap WifiNPhy::encode /
+// viterbi_decode around the codec (see tests/integration).  Tag detection
+// compares each modulatable symbol's subcarriers against the reference
+// symbol over the middle half of the band (majority voting, §2.4.2).
+#pragma once
+
+#include "core/overlay/overlay.h"
+#include "phy/ofdm/wifi_n.h"
+
+namespace ms {
+
+class WifiNOverlay : public OverlayCodec {
+ public:
+  explicit WifiNOverlay(OverlayParams params, WifiNConfig phy_cfg = {});
+
+  Protocol protocol() const override { return Protocol::WifiN; }
+  double sample_rate_hz() const override { return WifiNPhy::kSampleRate; }
+  std::size_t productive_bits_per_sequence() const override {
+    return wifi_n_coded_bits_per_symbol(phy_.config().modulation);
+  }
+
+  Iq make_carrier(std::span<const uint8_t> productive_bits) const override;
+  Iq tag_modulate(std::span<const Cf> carrier,
+                  std::span<const uint8_t> tag_bits) const override;
+  OverlayDecoded decode(std::span<const Cf> rx,
+                        std::size_t n_sequences) const override;
+
+  const WifiNPhy& phy() const { return phy_; }
+
+ private:
+  WifiNPhy phy_;
+};
+
+}  // namespace ms

@@ -1,0 +1,37 @@
+// Overlay codec for ZigBee carriers (§2.4.2 "ZigBee").
+//
+// Reference symbols are OQPSK 32-chip PN words.  A tag phase flip of π
+// damages the half-chip I/Q offset at the flip boundary, so the first
+// symbol of each γ-group is unreliable; the paper's fix is γ ≥ 2 (γ = 3
+// reaches ~0.1% BER) and the receiver votes over the remaining symbols.
+// The commodity receiver picks the best-matched of the 16 PN sequences
+// for productive data, and the overlay decoder compares the complex
+// correlation phase against the reference symbol for tag data.
+#pragma once
+
+#include "core/overlay/overlay.h"
+#include "phy/zigbee/zigbee.h"
+
+namespace ms {
+
+class ZigbeeOverlay : public OverlayCodec {
+ public:
+  explicit ZigbeeOverlay(OverlayParams params, ZigbeeConfig phy_cfg = {});
+
+  Protocol protocol() const override { return Protocol::Zigbee; }
+  double sample_rate_hz() const override { return phy_.sample_rate_hz(); }
+  std::size_t productive_bits_per_sequence() const override { return 4; }
+
+  Iq make_carrier(std::span<const uint8_t> productive_bits) const override;
+  Iq tag_modulate(std::span<const Cf> carrier,
+                  std::span<const uint8_t> tag_bits) const override;
+  OverlayDecoded decode(std::span<const Cf> rx,
+                        std::size_t n_sequences) const override;
+
+  const ZigbeePhy& phy() const { return phy_; }
+
+ private:
+  ZigbeePhy phy_;
+};
+
+}  // namespace ms

@@ -1,0 +1,38 @@
+#include "core/tag/channel_sense.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ms {
+
+ChannelSensor::ChannelSensor(ChannelSenseConfig cfg) : cfg_(cfg) {
+  MS_CHECK(cfg_.threshold_v > 0.0);
+  MS_CHECK(cfg_.busy_fraction > 0.0 && cfg_.busy_fraction <= 1.0);
+}
+
+bool ChannelSensor::channel_busy(std::span<const float> envelope_v) const {
+  if (envelope_v.empty()) return false;
+  std::size_t above = 0;
+  for (float v : envelope_v)
+    if (v >= cfg_.threshold_v) ++above;
+  return static_cast<double>(above) >=
+         cfg_.busy_fraction * static_cast<double>(envelope_v.size());
+}
+
+double shift_collision_probability(double busy_duty,
+                                   double mean_busy_airtime_s,
+                                   double tx_airtime_s, bool with_sensing) {
+  MS_CHECK(busy_duty >= 0.0 && busy_duty < 1.0);
+  MS_CHECK(mean_busy_airtime_s > 0.0);
+  MS_CHECK(tx_airtime_s > 0.0);
+  // Bursts arrive at rate λ = duty / airtime (M/G/∞ thinking).
+  const double lambda = busy_duty / mean_busy_airtime_s;
+  // New traffic starting during our transmission:
+  const double p_new = 1.0 - std::exp(-lambda * tx_airtime_s);
+  if (with_sensing) return p_new;
+  // Without sensing we may also start on top of an in-flight burst.
+  return busy_duty + (1.0 - busy_duty) * p_new;
+}
+
+}  // namespace ms

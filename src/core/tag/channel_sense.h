@@ -1,0 +1,48 @@
+// Channel sensing before frequency shifting (the paper's footnote 6:
+// "It is possible that we shift to a busy channel.  Addressing this
+// problem requires channel sensing, which is not supported by most
+// backscatter tags").
+//
+// The tag already owns an envelope detector + ADC; pointing it at the
+// shift-target channel for a short window before backscattering gives a
+// cheap clear-channel assessment.  This module provides the energy
+// detector and the collision-probability arithmetic that quantifies what
+// sensing buys.
+#pragma once
+
+#include <span>
+
+#include "dsp/iq.h"
+
+namespace ms {
+
+struct ChannelSenseConfig {
+  double threshold_v = 0.05;   ///< envelope level meaning "busy"
+  double busy_fraction = 0.1;  ///< fraction of window above threshold → busy
+  double window_s = 20e-6;     ///< sensing dwell on the target channel
+};
+
+class ChannelSensor {
+ public:
+  explicit ChannelSensor(ChannelSenseConfig cfg = {});
+
+  /// Clear-channel assessment over an envelope trace of the target
+  /// channel (any sample rate; only the above-threshold fraction counts).
+  bool channel_busy(std::span<const float> envelope_v) const;
+
+  const ChannelSenseConfig& config() const { return cfg_; }
+
+ private:
+  ChannelSenseConfig cfg_;
+};
+
+/// Probability that a backscattered packet of `tx_airtime_s` collides
+/// with traffic on the target channel, modeling that traffic as
+/// exponential arrivals with the given duty and mean burst airtime.
+/// Without sensing the tag also lands on already-busy air; with sensing
+/// only traffic arriving after the (clean) assessment can collide.
+double shift_collision_probability(double busy_duty,
+                                   double mean_busy_airtime_s,
+                                   double tx_airtime_s, bool with_sensing);
+
+}  // namespace ms

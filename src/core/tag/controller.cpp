@@ -1,0 +1,84 @@
+#include "core/tag/controller.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ms {
+
+std::optional<std::size_t> pick_best_carrier(
+    std::span<const ExcitationSpec> available, const OverlayParams& params,
+    const BackscatterLink& link, double distance_m) {
+  std::optional<std::size_t> best;
+  double best_goodput = 0.0;
+  for (std::size_t i = 0; i < available.size(); ++i) {
+    const double g = tag_goodput_bps(available[i], params, link, distance_m);
+    if (g > best_goodput) {
+      best_goodput = g;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TagController::TagController(TagControllerConfig cfg, BackscatterLink link)
+    : cfg_(cfg), link_(link) {}
+
+TagController::StepResult TagController::step(
+    std::span<const ExcitationSpec> on_air, double distance_m, Rng& rng) {
+  ++steps_;
+  StepResult r;
+
+  // A single-protocol tag only sees its own carrier.
+  std::vector<ExcitationSpec> usable;
+  for (const ExcitationSpec& e : on_air) {
+    if (!cfg_.multiprotocol && e.protocol != cfg_.only_protocol) continue;
+    usable.push_back(e);
+  }
+  if (usable.empty()) return r;
+
+  // The identifier occasionally mislabels the excitation; a mislabeled
+  // packet gets the wrong modulation scheme and is lost.
+  if (!rng.chance(cfg_.ident_accuracy)) return r;
+
+  // Mode parameters depend on the chosen carrier's protocol.
+  std::optional<std::size_t> pick;
+  if (cfg_.multiprotocol) {
+    // Evaluate each candidate with its own protocol's mode parameters.
+    double best = 0.0;
+    for (std::size_t i = 0; i < usable.size(); ++i) {
+      const OverlayParams params = mode_params(usable[i].protocol, cfg_.mode);
+      const double g = tag_goodput_bps(usable[i], params, link_, distance_m);
+      if (g > best) {
+        best = g;
+        pick = i;
+      }
+    }
+  } else {
+    pick = 0;
+  }
+  if (!pick) return r;
+
+  const ExcitationSpec& chosen = usable[*pick];
+  const OverlayParams params = mode_params(chosen.protocol, cfg_.mode);
+  const Throughput t = overlay_throughput_at(chosen, params, link_, distance_m);
+  r.transmitted = t.tag_bps > 0.0;
+  r.carrier = chosen.protocol;
+  r.tag_bps = t.tag_bps;
+  r.productive_bps = t.productive_bps;
+  if (r.transmitted) ++busy_steps_;
+  tag_bps_sum_ += r.tag_bps;
+  return r;
+}
+
+double TagController::busy_fraction() const {
+  return steps_ == 0 ? 0.0
+                     : static_cast<double>(busy_steps_) /
+                           static_cast<double>(steps_);
+}
+
+double TagController::mean_tag_bps() const {
+  return steps_ == 0 ? 0.0 : tag_bps_sum_ / static_cast<double>(steps_);
+}
+
+}  // namespace ms

@@ -1,0 +1,80 @@
+#include "core/tag/tag_device.h"
+
+#include <limits>
+
+#include "common/error.h"
+
+namespace ms {
+
+TagDevice::TagDevice(TagDeviceConfig cfg, BackscatterLink link)
+    : cfg_(cfg), link_(link) {}
+
+double TagDevice::active_power_w() const {
+  return cfg_.power.total_peak_mw(cfg_.adc_rate_hz) / 1e3;
+}
+
+void TagDevice::step(double dt_s, std::span<const ExcitationSpec> on_air,
+                     double distance_m, Rng& rng) {
+  MS_CHECK(dt_s > 0.0);
+  stats_.time_s += dt_s;
+
+  if (state_ == State::Charging) {
+    const double harvested = solar_power_w(cfg_.lux) * dt_s;
+    energy_j_ += harvested;
+    stats_.energy_harvested_j += harvested;
+    if (energy_j_ >= energy_per_cycle_j(cfg_.harvester)) {
+      energy_j_ = energy_per_cycle_j(cfg_.harvester);
+      state_ = State::Active;
+      ++stats_.charge_cycles;
+    }
+    return;
+  }
+
+  // Active: burn the load power; harvest continues in the background.
+  const double spent = active_power_w() * dt_s;
+  energy_j_ += solar_power_w(cfg_.lux) * dt_s - spent;
+  stats_.energy_spent_j += spent;
+  stats_.time_active_s += dt_s;
+
+  // Excitation packets arriving within this step.
+  for (const ExcitationSpec& exc : on_air) {
+    const double expected = exc.pkt_rate_hz * dt_s;
+    std::size_t arrivals = static_cast<std::size_t>(expected);
+    if (rng.chance(expected - static_cast<double>(arrivals))) ++arrivals;
+    for (std::size_t k = 0; k < arrivals; ++k) {
+      ++stats_.packets_seen;
+      if (!rng.chance(cfg_.ident_accuracy)) continue;
+      ++stats_.packets_identified;
+      const OverlayParams params = mode_params(exc.protocol, cfg_.mode);
+      const Throughput t =
+          overlay_throughput_at(exc, params, link_, distance_m);
+      if (t.tag_bps <= 0.0) continue;
+      ++stats_.packets_backscattered;
+      // Tag bits riding this one packet.
+      const double seqs = static_cast<double>(exc.payload_symbols()) /
+                          static_cast<double>(params.kappa);
+      stats_.tag_bits +=
+          seqs * static_cast<double>(params.tag_bits_per_sequence());
+    }
+  }
+
+  if (energy_j_ <= 0.0) {
+    energy_j_ = 0.0;
+    state_ = State::Charging;
+  }
+}
+
+void TagDevice::run(double duration_s, double step_s,
+                    std::span<const ExcitationSpec> on_air, double distance_m,
+                    Rng& rng) {
+  for (double t = 0.0; t < duration_s; t += step_s)
+    step(step_s, on_air, distance_m, rng);
+}
+
+double TagDevice::avg_exchange_time_s() const {
+  if (stats_.packets_backscattered == 0)
+    return std::numeric_limits<double>::infinity();
+  return stats_.time_s / static_cast<double>(stats_.packets_backscattered);
+}
+
+}  // namespace ms

@@ -1,0 +1,19 @@
+// Complex-baseband sample types.
+//
+// The simulator represents every waveform as complex baseband IQ at an
+// explicit sample rate; real-valued traces (rectifier envelopes, ADC
+// captures) use Samples.  float is sufficient precision for all PHY
+// processing and halves memory traffic on long traces.  Operations on
+// these types live in dsp/ops.h.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace ms {
+
+using Cf = std::complex<float>;
+using Iq = std::vector<Cf>;          ///< complex baseband waveform
+using Samples = std::vector<float>;  ///< real-valued trace
+
+}  // namespace ms

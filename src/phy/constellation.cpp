@@ -1,0 +1,139 @@
+#include "phy/constellation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ms {
+
+unsigned bits_per_point(Modulation m) {
+  switch (m) {
+    case Modulation::Bpsk:
+      return 1;
+    case Modulation::Qpsk:
+      return 2;
+    case Modulation::Qam16:
+      return 4;
+    case Modulation::Qam64:
+      return 6;
+  }
+  MS_CHECK_MSG(false, "unknown modulation");
+}
+
+namespace {
+
+// 802.11 Gray mapping per axis for 16-QAM: bits (b0,b1) -> level.
+float qam16_level(uint8_t b0, uint8_t b1) {
+  // 00 -> -3, 01 -> -1, 11 -> +1, 10 -> +3
+  if (!b0 && !b1) return -3.0f;
+  if (!b0 && b1) return -1.0f;
+  if (b0 && b1) return 1.0f;
+  return 3.0f;
+}
+
+void qam16_bits(float level, uint8_t& b0, uint8_t& b1) {
+  if (level < -2.0f) {
+    b0 = 0; b1 = 0;
+  } else if (level < 0.0f) {
+    b0 = 0; b1 = 1;
+  } else if (level < 2.0f) {
+    b0 = 1; b1 = 1;
+  } else {
+    b0 = 1; b1 = 0;
+  }
+}
+
+// 802.11 Gray mapping per axis for 64-QAM: bits (b0,b1,b2) -> level.
+// 000→−7, 001→−5, 011→−3, 010→−1, 110→+1, 111→+3, 101→+5, 100→+7.
+float qam64_level(uint8_t b0, uint8_t b1, uint8_t b2) {
+  static const float levels[8] = {-7, -5, -1, -3, +7, +5, +1, +3};
+  return levels[(b0 << 2) | (b1 << 1) | b2];
+}
+
+void qam64_bits(float level, uint8_t& b0, uint8_t& b1, uint8_t& b2) {
+  // Nearest of {−7,−5,−3,−1,+1,+3,+5,+7}, then invert the Gray map.
+  static const uint8_t gray[8] = {0b000, 0b001, 0b011, 0b010,
+                                  0b110, 0b111, 0b101, 0b100};
+  int idx = static_cast<int>(std::lround((level + 7.0f) / 2.0f));
+  idx = std::clamp(idx, 0, 7);
+  const uint8_t g = gray[idx];
+  b0 = (g >> 2) & 1u;
+  b1 = (g >> 1) & 1u;
+  b2 = g & 1u;
+}
+
+const float kQpskNorm = 1.0f / std::sqrt(2.0f);
+const float kQam16Norm = 1.0f / std::sqrt(10.0f);
+const float kQam64Norm = 1.0f / std::sqrt(42.0f);
+
+}  // namespace
+
+Iq constellation_map(std::span<const uint8_t> bits, Modulation m) {
+  const unsigned bpp = bits_per_point(m);
+  MS_CHECK(bits.size() % bpp == 0);
+  Iq out;
+  out.reserve(bits.size() / bpp);
+  for (std::size_t i = 0; i < bits.size(); i += bpp) {
+    switch (m) {
+      case Modulation::Bpsk:
+        out.emplace_back(bits[i] ? 1.0f : -1.0f, 0.0f);
+        break;
+      case Modulation::Qpsk:
+        out.emplace_back((bits[i] ? 1.0f : -1.0f) * kQpskNorm,
+                         (bits[i + 1] ? 1.0f : -1.0f) * kQpskNorm);
+        break;
+      case Modulation::Qam16:
+        out.emplace_back(qam16_level(bits[i], bits[i + 1]) * kQam16Norm,
+                         qam16_level(bits[i + 2], bits[i + 3]) * kQam16Norm);
+        break;
+      case Modulation::Qam64:
+        out.emplace_back(
+            qam64_level(bits[i], bits[i + 1], bits[i + 2]) * kQam64Norm,
+            qam64_level(bits[i + 3], bits[i + 4], bits[i + 5]) * kQam64Norm);
+        break;
+    }
+  }
+  return out;
+}
+
+Bits constellation_demap(std::span<const Cf> points, Modulation m) {
+  Bits out;
+  out.reserve(points.size() * bits_per_point(m));
+  for (const Cf& p : points) {
+    switch (m) {
+      case Modulation::Bpsk:
+        out.push_back(p.real() >= 0.0f ? 1 : 0);
+        break;
+      case Modulation::Qpsk:
+        out.push_back(p.real() >= 0.0f ? 1 : 0);
+        out.push_back(p.imag() >= 0.0f ? 1 : 0);
+        break;
+      case Modulation::Qam16: {
+        uint8_t b0, b1;
+        qam16_bits(p.real() / kQam16Norm, b0, b1);
+        out.push_back(b0);
+        out.push_back(b1);
+        qam16_bits(p.imag() / kQam16Norm, b0, b1);
+        out.push_back(b0);
+        out.push_back(b1);
+        break;
+      }
+      case Modulation::Qam64: {
+        uint8_t b0, b1, b2;
+        qam64_bits(p.real() / kQam64Norm, b0, b1, b2);
+        out.push_back(b0);
+        out.push_back(b1);
+        out.push_back(b2);
+        qam64_bits(p.imag() / kQam64Norm, b0, b1, b2);
+        out.push_back(b0);
+        out.push_back(b1);
+        out.push_back(b2);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ms

@@ -1,0 +1,24 @@
+// Constellation mapping for the OFDM chain: BPSK, QPSK, 16-QAM with the
+// 802.11 Gray labeling and K_MOD normalization (unit average power).
+#pragma once
+
+#include <span>
+
+#include "common/bits.h"
+#include "dsp/iq.h"
+
+namespace ms {
+
+enum class Modulation { Bpsk, Qpsk, Qam16, Qam64 };
+
+/// Bits carried per constellation point.
+unsigned bits_per_point(Modulation m);
+
+/// Map bits to unit-average-power constellation points.  The bit count
+/// must be a multiple of bits_per_point(m).
+Iq constellation_map(std::span<const uint8_t> bits, Modulation m);
+
+/// Hard-decision demapping (minimum-distance decision per axis).
+Bits constellation_demap(std::span<const Cf> points, Modulation m);
+
+}  // namespace ms

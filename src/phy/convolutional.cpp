@@ -1,0 +1,156 @@
+#include "phy/convolutional.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ms {
+
+namespace {
+
+constexpr unsigned kConstraint = 7;
+constexpr unsigned kStates = 1u << (kConstraint - 1);  // 64
+constexpr unsigned kG0 = 0133;  // octal generators per 802.11
+constexpr unsigned kG1 = 0171;
+
+unsigned parity(unsigned v) { return __builtin_popcount(v) & 1u; }
+
+/// Output pair for (state, input bit).  State holds the most recent 6 bits
+/// with the newest bit in the MSB position of the 7-bit shift register.
+std::pair<uint8_t, uint8_t> branch_output(unsigned state, unsigned bit) {
+  const unsigned reg = (bit << 6) | state;  // newest bit first
+  return {static_cast<uint8_t>(parity(reg & kG0)),
+          static_cast<uint8_t>(parity(reg & kG1))};
+}
+
+unsigned next_state(unsigned state, unsigned bit) {
+  return ((bit << 6) | state) >> 1;
+}
+
+}  // namespace
+
+Bits conv_encode(std::span<const uint8_t> bits) {
+  Bits out;
+  out.reserve(bits.size() * 2);
+  unsigned state = 0;
+  for (uint8_t b : bits) {
+    const auto [o0, o1] = branch_output(state, b & 1u);
+    out.push_back(o0);
+    out.push_back(o1);
+    state = next_state(state, b & 1u);
+  }
+  return out;
+}
+
+Bits viterbi_decode(std::span<const uint8_t> coded) {
+  MS_CHECK(coded.size() % 2 == 0);
+  const std::size_t n = coded.size() / 2;
+  if (n == 0) return {};
+
+  constexpr unsigned kInf = std::numeric_limits<unsigned>::max() / 2;
+  std::array<unsigned, kStates> metric;
+  metric.fill(kInf);
+  metric[0] = 0;  // encoder starts in state 0
+
+  // Survivor bits, one per (step, state).
+  std::vector<std::array<uint8_t, kStates>> survivor_bit(n);
+  std::vector<std::array<uint8_t, kStates>> survivor_prev(n);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    const uint8_t r0 = coded[2 * t];      // 0, 1, or kErasedBit
+    const uint8_t r1 = coded[2 * t + 1];
+    std::array<unsigned, kStates> next;
+    next.fill(kInf);
+    auto& sb = survivor_bit[t];
+    auto& sp = survivor_prev[t];
+    for (unsigned s = 0; s < kStates; ++s) {
+      if (metric[s] >= kInf) continue;
+      for (unsigned b = 0; b <= 1; ++b) {
+        const auto [o0, o1] = branch_output(s, b);
+        const unsigned cost = metric[s] +
+                              (r0 != kErasedBit && o0 != r0 ? 1u : 0u) +
+                              (r1 != kErasedBit && o1 != r1 ? 1u : 0u);
+        const unsigned ns = next_state(s, b);
+        if (cost < next[ns]) {
+          next[ns] = cost;
+          sb[ns] = static_cast<uint8_t>(b);
+          sp[ns] = static_cast<uint8_t>(s);
+        }
+      }
+    }
+    metric = next;
+  }
+
+  // Trace back from the best final state.
+  unsigned state = static_cast<unsigned>(std::distance(
+      metric.begin(), std::min_element(metric.begin(), metric.end())));
+  Bits out(n);
+  for (std::size_t t = n; t-- > 0;) {
+    out[t] = survivor_bit[t][state];
+    state = survivor_prev[t][state];
+  }
+  return out;
+}
+
+namespace {
+
+/// 802.11 puncturing patterns over (A, B) output pairs; 1 = transmit.
+/// Period = num input bits → 2·num coded bits → den + num... the kept
+/// count per period is den − (den − 2·num)?  Concretely:
+///   2/3: A 11, B 10          (keep 3 of 4)
+///   3/4: A 110, B 101        (keep 4 of 6)
+///   5/6: A 11010, B 10101    (keep 6 of 10)
+struct PuncturePattern {
+  std::vector<uint8_t> a, b;
+};
+
+PuncturePattern pattern_for(unsigned num, unsigned den) {
+  if (num == 1 && den == 2) return {{1}, {1}};
+  if (num == 2 && den == 3) return {{1, 1}, {1, 0}};
+  if (num == 3 && den == 4) return {{1, 1, 0}, {1, 0, 1}};
+  if (num == 5 && den == 6) return {{1, 1, 0, 1, 0}, {1, 0, 1, 0, 1}};
+  MS_CHECK_MSG(false, "unsupported puncturing rate");
+}
+
+}  // namespace
+
+Bits puncture(std::span<const uint8_t> coded, unsigned num, unsigned den) {
+  MS_CHECK(coded.size() % 2 == 0);
+  const PuncturePattern pat = pattern_for(num, den);
+  Bits out;
+  out.reserve(coded.size() * num / den + pat.a.size());
+  for (std::size_t i = 0; i < coded.size() / 2; ++i) {
+    const std::size_t ph = i % pat.a.size();
+    if (pat.a[ph]) out.push_back(coded[2 * i]);
+    if (pat.b[ph]) out.push_back(coded[2 * i + 1]);
+  }
+  return out;
+}
+
+Bits depuncture(std::span<const uint8_t> punctured, unsigned num,
+                unsigned den, std::size_t n_info_bits) {
+  const PuncturePattern pat = pattern_for(num, den);
+  Bits out;
+  out.reserve(n_info_bits * 2);
+  std::size_t src = 0;
+  for (std::size_t i = 0; i < n_info_bits; ++i) {
+    const std::size_t ph = i % pat.a.size();
+    if (pat.a[ph]) {
+      MS_CHECK_MSG(src < punctured.size(), "punctured stream too short");
+      out.push_back(punctured[src++]);
+    } else {
+      out.push_back(kErasedBit);
+    }
+    if (pat.b[ph]) {
+      MS_CHECK_MSG(src < punctured.size(), "punctured stream too short");
+      out.push_back(punctured[src++]);
+    } else {
+      out.push_back(kErasedBit);
+    }
+  }
+  return out;
+}
+
+}  // namespace ms

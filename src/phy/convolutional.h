@@ -1,0 +1,37 @@
+// Rate-1/2 K=7 convolutional code (generators 133/171 octal) with a
+// hard-decision Viterbi decoder — the BCC used by 802.11a/g/n.
+#pragma once
+
+#include <span>
+
+#include "common/bits.h"
+
+namespace ms {
+
+/// Encode at rate 1/2; output has 2x the input length.  The encoder state
+/// starts at zero; callers append 6 tail zeros themselves if they want the
+/// trellis terminated (the 802.11n chain does).
+Bits conv_encode(std::span<const uint8_t> bits);
+
+/// Marker for a punctured (erased) coded bit: the Viterbi decoder assigns
+/// it zero branch cost for either hypothesis.
+inline constexpr uint8_t kErasedBit = 2;
+
+/// Hard-decision Viterbi decode of a rate-1/2 stream.  `coded.size()` must
+/// be even; returns coded.size()/2 decoded bits.  Survivor selection
+/// assumes the encoder started in state 0 and traces back from the best
+/// final state.  Elements equal to kErasedBit are treated as erasures
+/// (depunctured positions).
+Bits viterbi_decode(std::span<const uint8_t> coded);
+
+/// Puncture a rate-1/2 coded stream to rate num/den using the 802.11
+/// patterns (supported: 1/2 = identity, 2/3, 3/4, 5/6).
+Bits puncture(std::span<const uint8_t> coded, unsigned num, unsigned den);
+
+/// Insert kErasedBit at punctured positions, restoring the rate-1/2
+/// layout for the Viterbi decoder.  `n_info_bits` is the original
+/// (pre-coding) bit count the stream carries.
+Bits depuncture(std::span<const uint8_t> punctured, unsigned num,
+                unsigned den, std::size_t n_info_bits);
+
+}  // namespace ms

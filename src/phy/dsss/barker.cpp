@@ -1,0 +1,24 @@
+#include "phy/dsss/barker.h"
+
+#include "common/error.h"
+
+namespace ms {
+
+const std::array<float, 11> kBarker11 = {+1, -1, +1, +1, -1, +1,
+                                         +1, +1, -1, -1, -1};
+
+Iq barker_spread(Cf symbol) {
+  Iq out(kBarker11.size());
+  for (std::size_t i = 0; i < kBarker11.size(); ++i)
+    out[i] = symbol * kBarker11[i];
+  return out;
+}
+
+Cf barker_despread(std::span<const Cf> chips) {
+  MS_CHECK(chips.size() == kBarker11.size());
+  Cf acc(0.0f, 0.0f);
+  for (std::size_t i = 0; i < chips.size(); ++i) acc += chips[i] * kBarker11[i];
+  return acc / static_cast<float>(kBarker11.size());
+}
+
+}  // namespace ms

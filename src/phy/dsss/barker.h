@@ -1,0 +1,21 @@
+// Barker-11 spreading for 802.11b 1/2 Mbps DSSS.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "dsp/iq.h"
+
+namespace ms {
+
+/// The 11-chip Barker sequence used by 802.11b (+1 −1 +1 +1 −1 +1 +1 +1 −1 −1 −1).
+extern const std::array<float, 11> kBarker11;
+
+/// Spread one complex symbol onto 11 Barker chips.
+Iq barker_spread(Cf symbol);
+
+/// Correlate 11 received chips against the Barker sequence and return the
+/// despread complex symbol (normalized by chip count).
+Cf barker_despread(std::span<const Cf> chips);
+
+}  // namespace ms

@@ -1,0 +1,24 @@
+// 802.11a/g/n block interleaver.
+//
+// Operates on one OFDM symbol's coded bits (N_CBPS).  The standard's two
+// permutations spread adjacent coded bits across nonadjacent subcarriers;
+// for the BPSK/QPSK cases used here the second permutation is identity,
+// but it is implemented in full for 16-QAM correctness.
+#pragma once
+
+#include <span>
+
+#include "common/bits.h"
+
+namespace ms {
+
+/// Interleave one OFDM symbol.  n_cbps = coded bits per symbol,
+/// n_bpsc = bits per subcarrier (1 BPSK, 2 QPSK, 4 16-QAM).
+Bits interleave_11n(std::span<const uint8_t> bits, unsigned n_cbps,
+                    unsigned n_bpsc);
+
+/// Inverse of interleave_11n.
+Bits deinterleave_11n(std::span<const uint8_t> bits, unsigned n_cbps,
+                      unsigned n_bpsc);
+
+}  // namespace ms

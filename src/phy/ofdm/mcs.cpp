@@ -1,0 +1,24 @@
+#include "phy/ofdm/mcs.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace ms {
+
+const McsInfo& mcs_info(unsigned index) {
+  static const std::array<McsInfo, kMcsCount> kTable = {{
+      {0, Modulation::Bpsk, 1, 2, 48, 24, 6.5e6},
+      {1, Modulation::Qpsk, 1, 2, 96, 48, 13.0e6},
+      {2, Modulation::Qpsk, 3, 4, 96, 72, 19.5e6},
+      {3, Modulation::Qam16, 1, 2, 192, 96, 26.0e6},
+      {4, Modulation::Qam16, 3, 4, 192, 144, 39.0e6},
+      {5, Modulation::Qam64, 2, 3, 288, 192, 52.0e6},
+      {6, Modulation::Qam64, 3, 4, 288, 216, 58.5e6},
+      {7, Modulation::Qam64, 5, 6, 288, 240, 65.0e6},
+  }};
+  MS_CHECK_MSG(index < kMcsCount, "MCS index out of range");
+  return kTable[index];
+}
+
+}  // namespace ms

@@ -1,0 +1,25 @@
+// 802.11n MCS table (single spatial stream, 20 MHz, 800 ns GI) — the
+// rate set a commodity 11n excitation source can transmit at.  The paper
+// evaluates MCS0; the rest complete the substrate.
+#pragma once
+
+#include "phy/constellation.h"
+
+namespace ms {
+
+struct McsInfo {
+  unsigned index;
+  Modulation modulation;
+  unsigned coding_num;  ///< coding rate numerator
+  unsigned coding_den;  ///< coding rate denominator
+  unsigned n_cbps;      ///< coded bits per OFDM symbol (48 × bpsc)
+  unsigned n_dbps;      ///< data bits per OFDM symbol
+  double data_rate_bps;
+};
+
+/// MCS 0..7.  Throws ms::Error for other indices.
+const McsInfo& mcs_info(unsigned index);
+
+inline constexpr unsigned kMcsCount = 8;
+
+}  // namespace ms

@@ -1,0 +1,87 @@
+#include "phy/ofdm/subcarriers.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/fft.h"
+
+namespace ms {
+
+namespace {
+
+constexpr std::array<int, kOfdmDataCarriers> kDataIdx = {
+    -26, -25, -24, -23, -22, -20, -19, -18, -17, -16, -15, -14,
+    -13, -12, -11, -10, -9,  -8,  -6,  -5,  -4,  -3,  -2,  -1,
+    1,   2,   3,   4,   5,   6,   8,   9,   10,  11,  12,  13,
+    14,  15,  16,  17,  18,  19,  20,  22,  23,  24,  25,  26};
+
+constexpr std::array<int, kOfdmPilotCarriers> kPilotIdx = {-21, -7, 7, 21};
+constexpr std::array<float, kOfdmPilotCarriers> kPilotVal = {1, 1, 1, -1};
+
+// 802.11-2016 Eq. 17-25 pilot polarity sequence (period 127).
+constexpr std::array<int8_t, 127> kPolarity = {
+    1,  1,  1,  1,  -1, -1, -1, 1,  -1, -1, -1, -1, 1,  1,  -1, 1,  -1, -1,
+    1,  1,  -1, 1,  1,  -1, 1,  1,  1,  1,  1,  1,  -1, 1,  1,  1,  -1, 1,
+    1,  -1, -1, 1,  1,  1,  -1, 1,  -1, -1, -1, 1,  -1, 1,  -1, -1, 1,  -1,
+    -1, 1,  1,  1,  1,  1,  -1, -1, 1,  1,  -1, -1, 1,  -1, 1,  -1, 1,  1,
+    -1, -1, -1, 1,  1,  -1, -1, -1, -1, 1,  -1, -1, 1,  -1, 1,  1,  1,  1,
+    -1, 1,  -1, 1,  -1, 1,  -1, -1, -1, -1, -1, 1,  -1, 1,  1,  -1, 1,  -1,
+    1,  1,  1,  -1, -1, 1,  -1, -1, -1, 1,  1,  1,  -1, -1, -1, -1, -1, -1,
+    -1};
+
+// L-LTF frequency sequence for subcarriers −26..26 (53 entries, DC = 0).
+constexpr std::array<float, 53> kLtf = {
+    1,  1,  -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  1,  1,  -1, -1, 1,
+    1,  -1, 1,  -1, 1,  1,  1,  1,  0,  1,  -1, -1, 1,  1,  -1, 1,  -1, 1,
+    -1, -1, -1, -1, -1, 1,  1,  -1, -1, 1,  -1, 1,  -1, 1,  1,  1,  1};
+
+}  // namespace
+
+std::span<const int> ofdm_data_indices() { return kDataIdx; }
+std::span<const int> ofdm_pilot_indices() { return kPilotIdx; }
+std::span<const float> ofdm_pilot_values() { return kPilotVal; }
+
+float ofdm_pilot_polarity(std::size_t symbol_index) {
+  return static_cast<float>(kPolarity[symbol_index % kPolarity.size()]);
+}
+
+std::span<const float> ofdm_ltf_sequence() { return kLtf; }
+
+std::size_t ofdm_bin(int logical_index) {
+  MS_CHECK(logical_index >= -32 && logical_index <= 31);
+  return static_cast<std::size_t>((logical_index + kOfdmFftSize) % kOfdmFftSize);
+}
+
+Iq ofdm_ltf_time() {
+  Iq freq(kOfdmFftSize, Cf(0.0f, 0.0f));
+  for (int k = -26; k <= 26; ++k)
+    freq[ofdm_bin(k)] = Cf(kLtf[static_cast<std::size_t>(k + 26)], 0.0f);
+  Iq t = ifft(freq);
+  // Scale so mean power matches data symbols (52 active subcarriers).
+  const float scale = static_cast<float>(kOfdmFftSize) /
+                      std::sqrt(52.0f);
+  for (Cf& v : t) v *= scale;
+  return t;
+}
+
+Iq ofdm_stf_time() {
+  // L-STF frequency definition (802.11-2016 Eq. 17-23).
+  Iq freq(kOfdmFftSize, Cf(0.0f, 0.0f));
+  const float a = std::sqrt(13.0f / 6.0f);
+  const Cf pp(a, a), nn(-a, -a);
+  const std::array<std::pair<int, Cf>, 12> entries = {{
+      {-24, pp}, {-20, nn}, {-16, pp}, {-12, nn}, {-8, nn}, {-4, pp},
+      {4, nn},   {8, nn},   {12, pp},  {16, pp},  {20, pp}, {24, pp},
+  }};
+  for (const auto& [k, v] : entries) freq[ofdm_bin(k)] = v;
+  Iq period = ifft(freq);
+  const float scale = static_cast<float>(kOfdmFftSize) / std::sqrt(12.0f);
+  for (Cf& v : period) v *= scale;
+  // The short symbol repeats every 16 samples; emit 160 samples.
+  Iq out;
+  out.reserve(160);
+  for (std::size_t i = 0; i < 160; ++i) out.push_back(period[i % 64]);
+  return out;
+}
+
+}  // namespace ms

@@ -1,0 +1,45 @@
+// 802.11 OFDM (legacy 20 MHz, 64-point FFT) subcarrier plan and training
+// sequences: 48 data subcarriers, 4 pilots (±7, ±21), L-STF and L-LTF
+// frequency-domain definitions, and the pilot polarity sequence.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "dsp/iq.h"
+
+namespace ms {
+
+inline constexpr std::size_t kOfdmFftSize = 64;
+inline constexpr std::size_t kOfdmCpLen = 16;
+inline constexpr std::size_t kOfdmSymbolLen = kOfdmFftSize + kOfdmCpLen;  // 80
+inline constexpr std::size_t kOfdmDataCarriers = 48;
+inline constexpr std::size_t kOfdmPilotCarriers = 4;
+
+/// Logical subcarrier indices (-26..26 without 0, pilots removed) of the 48
+/// data subcarriers, in increasing order.
+std::span<const int> ofdm_data_indices();
+
+/// Pilot subcarrier indices {-21, -7, 7, 21}.
+std::span<const int> ofdm_pilot_indices();
+
+/// Base pilot values before polarity: {1, 1, 1, -1}.
+std::span<const float> ofdm_pilot_values();
+
+/// Pilot polarity p_n for symbol n (standard 127-periodic sequence).
+float ofdm_pilot_polarity(std::size_t symbol_index);
+
+/// L-LTF frequency-domain sequence indexed by logical subcarrier −26..26
+/// (array index 0 ↔ subcarrier −26; the DC entry is 0).
+std::span<const float> ofdm_ltf_sequence();
+
+/// One 64-sample period of the time-domain L-LTF.
+Iq ofdm_ltf_time();
+
+/// The 160-sample L-STF (10 repetitions of the 16-sample short symbol).
+Iq ofdm_stf_time();
+
+/// Map logical subcarrier index (−32..31) to FFT bin (0..63).
+std::size_t ofdm_bin(int logical_index);
+
+}  // namespace ms

@@ -1,0 +1,64 @@
+#include "phy/ofdm/sync.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/mixer.h"
+
+namespace ms {
+
+std::optional<OfdmSyncResult> ofdm_synchronize(std::span<const Cf> rx,
+                                               const OfdmSyncConfig& cfg) {
+  constexpr std::size_t kPeriod = 16;  // L-STF short-symbol period
+  MS_CHECK(cfg.window >= 2 * kPeriod);
+  if (rx.size() < cfg.window + kPeriod + 1) return std::nullopt;
+
+  // Running sums of the lag-16 autocorrelation and the energies of BOTH
+  // correlation windows (normalizing by one window lets the metric blow
+  // up at noise/frame boundaries where the lagged window is hot and the
+  // leading window is quiet).
+  Cf p(0.0f, 0.0f);
+  double e1 = 0.0, e2 = 0.0;
+  for (std::size_t i = 0; i < cfg.window; ++i) {
+    p += rx[i] * std::conj(rx[i + kPeriod]);
+    e1 += std::norm(rx[i]);
+    e2 += std::norm(rx[i + kPeriod]);
+  }
+
+  OfdmSyncResult best;
+  Cf best_p(0.0f, 0.0f);
+  const std::size_t last = rx.size() - cfg.window - kPeriod - 1;
+  for (std::size_t d = 0;; ++d) {
+    const double denom = std::sqrt(e1 * e2);
+    if (denom > 1e-12) {
+      const double metric = std::abs(p) / denom;
+      if (metric > best.metric) {
+        best.metric = metric;
+        best.frame_start = d;
+        best_p = p;
+      }
+    }
+    if (d == last) break;
+    p += rx[d + cfg.window] * std::conj(rx[d + cfg.window + kPeriod]);
+    p -= rx[d] * std::conj(rx[d + kPeriod]);
+    e1 += std::norm(rx[d + cfg.window]);
+    e1 -= std::norm(rx[d]);
+    e2 += std::norm(rx[d + cfg.window + kPeriod]);
+    e2 -= std::norm(rx[d + kPeriod]);
+  }
+
+  if (best.metric < cfg.min_metric) return std::nullopt;
+  // CFO from the plateau's phase: with r[i] = s[i]·e^{j2πf i/fs} and
+  // s[i] = s[i+16], each product r[i]·conj(r[i+16]) carries
+  // e^{−j2πf·16/fs}, so f = −arg(P)·fs/(2π·16).
+  best.cfo_hz = -std::arg(best_p) * cfg.sample_rate_hz /
+                (2.0 * M_PI * static_cast<double>(kPeriod));
+  return best;
+}
+
+Iq ofdm_correct_cfo(std::span<const Cf> rx, double cfo_hz,
+                    double sample_rate_hz) {
+  return frequency_shift(rx, -cfo_hz, sample_rate_hz);
+}
+
+}  // namespace ms

@@ -1,0 +1,39 @@
+// 802.11 OFDM frame synchronization (Schmidl & Cox on the L-STF).
+//
+// The L-STF repeats every 16 samples, so the normalized autocorrelation
+//   P(d) = Σ r[d+i]·conj(r[d+i+16]) / Σ |r[d+i]|²
+// forms a plateau across the STF.  The plateau edge gives symbol timing,
+// and arg(P)/2π·fs/16 estimates the carrier frequency offset — both of
+// which a commodity 802.11n NIC performs before handing symbols to the
+// overlay decoder.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "dsp/iq.h"
+
+namespace ms {
+
+struct OfdmSyncResult {
+  std::size_t frame_start = 0;  ///< estimated first sample of the L-STF
+  double cfo_hz = 0.0;          ///< carrier frequency offset estimate
+  double metric = 0.0;          ///< plateau peak, ~1 on a clean STF
+};
+
+struct OfdmSyncConfig {
+  double sample_rate_hz = 20e6;
+  double min_metric = 0.6;      ///< detection threshold on |P|
+  std::size_t window = 96;      ///< correlation span (≤ 144 inside the STF)
+};
+
+/// Detect an 802.11 frame in a raw capture.  Returns nullopt when no
+/// plateau exceeds the threshold.
+std::optional<OfdmSyncResult> ofdm_synchronize(std::span<const Cf> rx,
+                                               const OfdmSyncConfig& cfg = {});
+
+/// Remove a frequency offset estimated by ofdm_synchronize.
+Iq ofdm_correct_cfo(std::span<const Cf> rx, double cfo_hz,
+                    double sample_rate_hz);
+
+}  // namespace ms

@@ -1,0 +1,53 @@
+#include "phy/protocol.h"
+
+#include "common/error.h"
+
+namespace ms {
+
+std::string_view protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::WifiB:
+      return "802.11b";
+    case Protocol::WifiN:
+      return "802.11n";
+    case Protocol::Ble:
+      return "BLE";
+    case Protocol::Zigbee:
+      return "ZigBee";
+  }
+  MS_CHECK_MSG(false, "unknown protocol");
+}
+
+std::size_t protocol_index(Protocol p) {
+  for (std::size_t i = 0; i < kAllProtocols.size(); ++i)
+    if (kAllProtocols[i] == p) return i;
+  MS_CHECK_MSG(false, "unknown protocol");
+}
+
+const ProtocolInfo& protocol_info(Protocol p) {
+  // symbol_duration / bits_per_symbol reflect the paper's evaluated MCS:
+  //   802.11b @ 1 Mbps DBPSK:  1 µs symbols, 1 bit
+  //   802.11n @ MCS0:          4 µs OFDM symbols, 26 data bits (BPSK r=1/2)
+  //   BLE @ 1 Mbps GFSK:       1 µs symbols, 1 bit
+  //   ZigBee @ 250 kbps OQPSK: 16 µs symbols, 4 bits
+  // preamble_duration is the minimal packet-detection field (§2.2):
+  //   144 µs 11b long preamble, 8 µs L-STF for 11n, 8 µs BLE preamble,
+  //   128 µs ZigBee preamble (8 symbols of 0).
+  static const ProtocolInfo kWifiB{1e-6, 1.0, 144e-6, 40e-6, 11e6, 1e6};
+  static const ProtocolInfo kWifiN{4e-6, 26.0, 8e-6, 40e-6, 20e6, 6.5e6};
+  static const ProtocolInfo kBle{1e-6, 1.0, 8e-6, 40e-6, 1e6, 1e6};
+  static const ProtocolInfo kZigbee{16e-6, 4.0, 128e-6, 40e-6, 2e6, 250e3};
+  switch (p) {
+    case Protocol::WifiB:
+      return kWifiB;
+    case Protocol::WifiN:
+      return kWifiN;
+    case Protocol::Ble:
+      return kBle;
+    case Protocol::Zigbee:
+      return kZigbee;
+  }
+  MS_CHECK_MSG(false, "unknown protocol");
+}
+
+}  // namespace ms

@@ -1,0 +1,36 @@
+// Protocol identities and air-interface constants shared by the PHYs, the
+// identifier, and the experiment engine.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace ms {
+
+/// The four excitation protocols multiscatter identifies and rides on.
+enum class Protocol { WifiB, WifiN, Ble, Zigbee };
+
+inline constexpr std::array<Protocol, 4> kAllProtocols = {
+    Protocol::WifiB, Protocol::WifiN, Protocol::Ble, Protocol::Zigbee};
+
+std::string_view protocol_name(Protocol p);
+
+/// Index of a protocol in kAllProtocols (stable across the library).
+std::size_t protocol_index(Protocol p);
+
+/// Air-interface constants that the identifier and throughput model need.
+struct ProtocolInfo {
+  double symbol_duration_s;    ///< duration of one modulatable symbol
+  double bits_per_symbol;      ///< payload bits carried by one symbol
+  double preamble_duration_s;  ///< packet-detection field length (§2.2)
+  double extended_window_s;    ///< extended matching window (§2.3.2, 40 µs)
+  double bandwidth_hz;         ///< occupied bandwidth (noise bandwidth)
+  double raw_bit_rate_bps;     ///< PHY payload bit rate at our fixed MCS
+};
+
+/// Constants for the configurations the paper evaluates: 1 Mbps 802.11b,
+/// 802.11n MCS0, 1 Mbps BLE, 250 kbps ZigBee.
+const ProtocolInfo& protocol_info(Protocol p);
+
+}  // namespace ms

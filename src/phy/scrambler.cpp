@@ -1,0 +1,42 @@
+#include "phy/scrambler.h"
+
+#include "common/error.h"
+
+namespace ms {
+
+Bits scramble_11b(std::span<const uint8_t> bits, uint8_t seed) {
+  uint8_t state = seed & 0x7f;
+  Bits out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const uint8_t fb = ((state >> 3) ^ (state >> 6)) & 1u;  // x^4, x^7 taps
+    const uint8_t o = (bits[i] ^ fb) & 1u;
+    out[i] = o;
+    state = static_cast<uint8_t>(((state << 1) | o) & 0x7f);
+  }
+  return out;
+}
+
+Bits descramble_11b(std::span<const uint8_t> bits, uint8_t seed) {
+  uint8_t state = seed & 0x7f;
+  Bits out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const uint8_t fb = ((state >> 3) ^ (state >> 6)) & 1u;
+    out[i] = (bits[i] ^ fb) & 1u;
+    state = static_cast<uint8_t>(((state << 1) | bits[i]) & 0x7f);
+  }
+  return out;
+}
+
+Bits scramble_11n(std::span<const uint8_t> bits, uint8_t seed) {
+  MS_CHECK_MSG((seed & 0x7f) != 0, "802.11n scrambler seed must be nonzero");
+  uint8_t state = seed & 0x7f;
+  Bits out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const uint8_t fb = ((state >> 3) ^ (state >> 6)) & 1u;
+    state = static_cast<uint8_t>(((state << 1) | fb) & 0x7f);
+    out[i] = (bits[i] ^ fb) & 1u;
+  }
+  return out;
+}
+
+}  // namespace ms

@@ -1,0 +1,28 @@
+// 802.11 scramblers.
+//
+// 802.11b uses a self-synchronizing scrambler with polynomial x^7+x^4+1
+// (descrambling needs no state agreement); 802.11a/g/n use a synchronous
+// (additive) scrambler with the same polynomial but an explicit 7-bit seed
+// carried in the SERVICE field.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bits.h"
+
+namespace ms {
+
+/// 802.11b self-synchronizing scrambler.  `seed` is the 7-bit initial
+/// register state (0x6C for long preambles per the standard).
+Bits scramble_11b(std::span<const uint8_t> bits, uint8_t seed = 0x6c);
+
+/// 802.11b descrambler (inverse of scramble_11b, self-synchronizing: the
+/// seed does not need to match the transmitter after 7 bits).
+Bits descramble_11b(std::span<const uint8_t> bits, uint8_t seed = 0x6c);
+
+/// 802.11a/g/n additive scrambler with 7-bit seed (1..127).  Involutive:
+/// applying it twice with the same seed restores the input.
+Bits scramble_11n(std::span<const uint8_t> bits, uint8_t seed = 0x5d);
+
+}  // namespace ms

@@ -1,0 +1,22 @@
+#include "phy/whitening.h"
+
+#include "common/error.h"
+
+namespace ms {
+
+Bits ble_whiten(std::span<const uint8_t> bits, unsigned channel_index) {
+  MS_CHECK(channel_index < 40);
+  // 7-bit LFSR, position 0 is set to 1, positions 1..6 hold the channel
+  // index MSB-first (core spec Vol 6 Part B §3.2).
+  uint8_t lfsr = static_cast<uint8_t>(0x40 | (channel_index & 0x3f));
+  Bits out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const uint8_t w = (lfsr >> 6) & 1u;  // output = x^7 tap
+    out[i] = (bits[i] ^ w) & 1u;
+    lfsr = static_cast<uint8_t>(((lfsr << 1) & 0x7f) | w);
+    if (w) lfsr ^= 0x08;  // feedback into x^4
+  }
+  return out;
+}
+
+}  // namespace ms

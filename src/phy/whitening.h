@@ -1,0 +1,16 @@
+// BLE data whitening (LFSR x^7 + x^4 + 1, seeded from the channel index).
+// Whitening is involutive: applying it twice restores the input.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bits.h"
+
+namespace ms {
+
+/// Whiten/de-whiten a bit stream for the given BLE channel (0..39).
+/// The LFSR is initialized to [1, channel-index b5..b0] per the spec.
+Bits ble_whiten(std::span<const uint8_t> bits, unsigned channel_index);
+
+}  // namespace ms

@@ -1,0 +1,230 @@
+#include "sim/ident_experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/awgn.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "dsp/ops.h"
+#include "phy/ble/ble.h"
+#include "phy/dsss/wifi_b.h"
+#include "phy/ofdm/wifi_n.h"
+#include "phy/zigbee/zigbee.h"
+
+namespace ms {
+
+double IdentResult::accuracy(Protocol p) const {
+  const std::size_t i = protocol_index(p);
+  const std::size_t n = trials(p);
+  return n == 0 ? 0.0
+                : static_cast<double>(confusion[i][i]) / static_cast<double>(n);
+}
+
+double IdentResult::average_accuracy() const {
+  double acc = 0.0;
+  for (Protocol p : kAllProtocols) acc += accuracy(p);
+  return acc / 4.0;
+}
+
+std::size_t IdentResult::trials(Protocol p) const {
+  const std::size_t i = protocol_index(p);
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < 5; ++j) n += confusion[i][j];
+  return n;
+}
+
+namespace {
+
+/// Packet-start waveform as the tag hears it: the deterministic
+/// packet-detection region followed by random payload (a real packet
+/// does not stop after its preamble, and template windows may extend
+/// into the payload-adjacent region).
+Iq excitation_waveform(Protocol p, const IdentTrialConfig& cfg, Rng& rng) {
+  Iq iq = clean_preamble(p, /*extended=*/true);
+  switch (p) {
+    case Protocol::WifiB: {
+      // The long preamble continues well past 40 µs; use more of it.
+      WifiBConfig phy_cfg;
+      phy_cfg.short_preamble =
+          rng.chance(cfg.wifi_b_short_preamble_fraction);
+      const WifiBPhy phy(phy_cfg);
+      Iq full = phy.preamble_waveform();
+      full.resize(std::min<std::size_t>(
+          full.size(), static_cast<std::size_t>(80e-6 * phy.sample_rate_hz())));
+      return full;
+    }
+    case Protocol::WifiN: {
+      const WifiNPhy phy;
+      const Bits coded = rng.bits(48 * 10);  // 40 µs of payload symbols
+      const Iq body = phy.modulate_coded_symbols(coded);
+      iq.insert(iq.end(), body.begin(), body.end());
+      return iq;
+    }
+    case Protocol::Ble: {
+      const BlePhy phy;
+      Bits air = phy.preamble_bits();
+      const Bits payload = rng.bits(40);
+      air.insert(air.end(), payload.begin(), payload.end());
+      return phy.modulate_bits(air);
+    }
+    case Protocol::Zigbee: {
+      const ZigbeePhy phy;
+      std::vector<uint8_t> symbols(8, 0);  // preamble
+      for (int i = 0; i < 3; ++i)
+        symbols.push_back(static_cast<uint8_t>(rng.uniform_int(16)));
+      return phy.modulate_symbols(symbols);
+    }
+  }
+  return iq;
+}
+
+}  // namespace
+
+Samples make_ident_trace(Protocol p, const IdentTrialConfig& cfg, Rng& rng) {
+  const double rate = native_sample_rate(p);
+  // The tag always receives the full packet-detection region; the
+  // identifier's window length decides how much of it is used.
+  Iq iq = excitation_waveform(p, cfg, rng);
+
+  // Random start jitter: noise-only samples before the packet.
+  if (cfg.multipath) {
+    const MultipathChannel ch = sample_multipath(cfg.multipath_cfg, rate, rng);
+    iq = ch.apply(iq);
+  }
+
+  const std::size_t jitter =
+      static_cast<std::size_t>(rng.uniform(0.0, cfg.jitter_max_s) * rate);
+  const double sig_power = mean_power(std::span<const Cf>(iq));
+  const double noise_power = sig_power / db_to_linear(cfg.rf_snr_db);
+  Iq trace = complex_noise(jitter, noise_power, rng);
+  trace.reserve(jitter + iq.size());
+  trace.insert(trace.end(), iq.begin(), iq.end());
+  Iq noisy = add_noise_power(trace, noise_power, rng);
+
+  // Random range/orientation → amplitude scale.
+  const float amp = static_cast<float>(rng.uniform(cfg.amp_min, cfg.amp_max));
+  for (Cf& v : noisy) v *= amp;
+
+  return acquire_trace(noisy, rate, cfg.ident.templates.adc_rate_hz,
+                       cfg.ident.templates.front_end);
+}
+
+IdentResult run_ident_experiment(const IdentTrialConfig& cfg,
+                                 std::size_t trials_per_protocol) {
+  const ProtocolIdentifier identifier(cfg.ident);
+  Rng rng(cfg.seed);
+  IdentResult result;
+  for (Protocol p : kAllProtocols) {
+    const std::size_t ti = protocol_index(p);
+    for (std::size_t t = 0; t < trials_per_protocol; ++t) {
+      const Samples trace = make_ident_trace(p, cfg, rng);
+      const auto detected = identifier.identify(trace);
+      const std::size_t di = detected ? protocol_index(*detected) : 4;
+      ++result.confusion[ti][di];
+    }
+  }
+  return result;
+}
+
+namespace {
+
+struct CalTrial {
+  std::size_t truth;
+  std::array<double, 4> scores;
+};
+
+std::vector<CalTrial> collect_calibration_trials(
+    IdentTrialConfig cfg, std::size_t trials_per_protocol) {
+  cfg.ident.decision = DecisionMode::Ordered;
+  const ProtocolIdentifier identifier(cfg.ident);
+  Rng rng(cfg.seed ^ 0xc0ffee);
+  std::vector<CalTrial> trials;
+  trials.reserve(4 * trials_per_protocol);
+  for (Protocol p : kAllProtocols)
+    for (std::size_t t = 0; t < trials_per_protocol; ++t)
+      trials.push_back({protocol_index(p),
+                        identifier.scores(make_ident_trace(p, cfg, rng))});
+  return trials;
+}
+
+/// Grid-search per-protocol thresholds for one fixed matching order.
+double search_thresholds(const std::vector<CalTrial>& trials,
+                         const std::array<Protocol, 4>& order,
+                         std::array<double, 4>& best_thr) {
+  static constexpr std::array<double, 12> kGrid = {
+      0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.60, 0.70, 0.80, 0.90};
+  double best_acc = -1.0;
+  for (double t0 : kGrid)
+    for (double t1 : kGrid)
+      for (double t2 : kGrid)
+        for (double t3 : kGrid) {
+          std::array<double, 4> thr{};
+          thr[protocol_index(order[0])] = t0;
+          thr[protocol_index(order[1])] = t1;
+          thr[protocol_index(order[2])] = t2;
+          thr[protocol_index(order[3])] = t3;
+          std::array<std::size_t, 4> correct{}, total{};
+          for (const CalTrial& tr : trials) {
+            std::size_t det = 4;
+            for (Protocol p : order) {
+              const std::size_t idx = protocol_index(p);
+              if (tr.scores[idx] > thr[idx]) {
+                det = idx;
+                break;
+              }
+            }
+            ++total[tr.truth];
+            if (det == tr.truth) ++correct[tr.truth];
+          }
+          double acc = 0.0;
+          for (std::size_t i = 0; i < 4; ++i)
+            acc += total[i] ? static_cast<double>(correct[i]) /
+                                  static_cast<double>(total[i])
+                            : 0.0;
+          acc /= 4.0;
+          if (acc > best_acc) {
+            best_acc = acc;
+            best_thr = thr;
+          }
+        }
+  return best_acc;
+}
+
+}  // namespace
+
+std::array<double, 4> calibrate_thresholds(IdentTrialConfig cfg,
+                                           std::size_t trials_per_protocol) {
+  const std::vector<CalTrial> trials =
+      collect_calibration_trials(cfg, trials_per_protocol);
+  std::array<double, 4> thr = cfg.ident.thresholds;
+  search_thresholds(trials, cfg.ident.order, thr);
+  return thr;
+}
+
+OrderedCalibration calibrate_ordered_matching(
+    IdentTrialConfig cfg, std::size_t trials_per_protocol) {
+  const std::vector<CalTrial> trials =
+      collect_calibration_trials(cfg, trials_per_protocol);
+  OrderedCalibration best;
+  best.calibration_accuracy = -1.0;
+  std::array<Protocol, 4> order = kAllProtocols;
+  std::sort(order.begin(), order.end());
+  // All 24 permutations × the full threshold grid (§2.3.2's brute force).
+  std::array<std::size_t, 4> perm = {0, 1, 2, 3};
+  do {
+    std::array<Protocol, 4> candidate = {
+        kAllProtocols[perm[0]], kAllProtocols[perm[1]],
+        kAllProtocols[perm[2]], kAllProtocols[perm[3]]};
+    std::array<double, 4> thr{};
+    const double acc = search_thresholds(trials, candidate, thr);
+    if (acc > best.calibration_accuracy) {
+      best.calibration_accuracy = acc;
+      best.order = candidate;
+      best.thresholds = thr;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace ms

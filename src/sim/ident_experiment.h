@@ -1,0 +1,69 @@
+// Monte-Carlo protocol-identification experiments (Figs 5b, 7, 8).
+//
+// Each trial synthesizes one protocol's packet-detection waveform, passes
+// it through RF noise, the front end, the rectifier, and the ADC, then
+// asks the identifier what it saw.  Accuracy is tallied per true
+// protocol, plus a full confusion matrix (column 4 = "no match").
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "channel/multipath.h"
+#include "common/rng.h"
+#include "core/ident/identifier.h"
+
+namespace ms {
+
+struct IdentTrialConfig {
+  IdentifierConfig ident;
+  double rf_snr_db = 20.0;      ///< IQ-domain SNR at the tag antenna
+                                ///  (tag sits 0.8 m from the source)
+  double amp_min = 0.5;          ///< random per-trial amplitude scale
+  double amp_max = 1.0;
+  double jitter_max_s = 2e-6;    ///< random packet start offset
+  /// Optional per-trial small-scale fading (a fresh channel realization
+  /// per packet — the "different locations" axis of the paper's study).
+  bool multipath = false;
+  MultipathConfig multipath_cfg;
+  /// Fraction of 802.11b trials transmitted with the 72 µs short
+  /// preamble (footnote 1).  The stored template is built from the long
+  /// preamble, so short-preamble traffic probes template mismatch.
+  double wifi_b_short_preamble_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct IdentResult {
+  /// confusion[true][detected]; detected index 4 = no match.
+  std::array<std::array<std::size_t, 5>, 4> confusion{};
+
+  double accuracy(Protocol p) const;
+  double average_accuracy() const;
+  std::size_t trials(Protocol p) const;
+};
+
+/// Single-trial trace generation (exposed for tests and benches).
+Samples make_ident_trace(Protocol p, const IdentTrialConfig& cfg, Rng& rng);
+
+/// Run `trials_per_protocol` trials of every protocol.
+IdentResult run_ident_experiment(const IdentTrialConfig& cfg,
+                                 std::size_t trials_per_protocol);
+
+/// Brute-force threshold search for ordered matching (§2.3.2): sweeps a
+/// coarse threshold grid on calibration trials and returns the
+/// per-protocol thresholds that maximize average accuracy (for the order
+/// already in cfg.ident.order).
+std::array<double, 4> calibrate_thresholds(IdentTrialConfig cfg,
+                                           std::size_t trials_per_protocol);
+
+/// Full §2.3.2 search: all 24 matching orders × the threshold grid.
+/// Returns the best (order, thresholds) pair by average accuracy.
+struct OrderedCalibration {
+  std::array<Protocol, 4> order;
+  std::array<double, 4> thresholds;
+  double calibration_accuracy = 0.0;
+};
+OrderedCalibration calibrate_ordered_matching(IdentTrialConfig cfg,
+                                              std::size_t trials_per_protocol);
+
+}  // namespace ms

@@ -1,0 +1,68 @@
+#include "sim/occlusion_experiment.h"
+
+#include "common/units.h"
+#include "sim/excitation.h"
+
+namespace ms {
+
+double OcclusionScenario::original_snr_db(WallMaterial wall, Protocol p) const {
+  const double rx_power = link.tx_power_dbm + link.tx_gain_dbi +
+                          link.rx_gain_dbi -
+                          link.forward.loss_db(tx_rx1_distance_m) -
+                          wall_loss_db(wall);
+  const double noise = thermal_noise_dbm(protocol_info(p).bandwidth_hz) +
+                       link.rx_noise_figure_db;
+  // The paper's original links already run near sensitivity in the
+  // cluttered office (their unwalled tag BER is 0.2%, Fig 9a); cap the
+  // pre-despreading SNR headroom at −3 dB (≈0.2% DBPSK BER after the
+  // 10.4 dB Barker gain) so walls push the link over the cliff as in the
+  // paper rather than being absorbed by free-space margin.
+  constexpr double kClutterCeilingDb = -3.0;
+  const double unwalled_snr = rx_power - noise + wall_loss_db(wall);
+  return std::min(unwalled_snr, kClutterCeilingDb) - wall_loss_db(wall);
+}
+
+std::array<double, 3> baseline_occlusion_ber(const BaselineConfig& baseline,
+                                             const OcclusionScenario& sc) {
+  const TwoReceiverBaseline sys(baseline);
+  const double back_snr = sc.link.snr_db(sc.tag_rx_distance_m, baseline.carrier);
+  std::array<double, 3> out{};
+  const std::array<WallMaterial, 3> walls = {
+      WallMaterial::None, WallMaterial::Wood, WallMaterial::Concrete};
+  for (std::size_t i = 0; i < walls.size(); ++i)
+    out[i] = sys.tag_ber(sc.original_snr_db(walls[i], baseline.carrier),
+                         back_snr);
+  return out;
+}
+
+std::array<Fig15Row, 4> occlusion_throughput(const OcclusionScenario& sc) {
+  constexpr WallMaterial kWall = WallMaterial::Drywall;
+  std::array<Fig15Row, 4> rows{};
+
+  // Multiscatter: single-receiver decode of the backscattered packet;
+  // the original channel's occlusion is irrelevant.
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Protocol p = i == 0 ? Protocol::Ble : Protocol::WifiB;
+    const ExcitationSpec exc = fig12_excitation(p);
+    const OverlayParams params = mode_params(p, OverlayMode::Mode1);
+    const Throughput t =
+        overlay_throughput_at(exc, params, sc.link, sc.tag_rx_distance_m);
+    rows[i] = {i == 0 ? "multiscatter-BLE" : "multiscatter-11b",
+               t.tag_bps / 1e3};
+  }
+
+  // Baselines: tag throughput collapses with the drywalled original link.
+  const std::array<BaselineConfig, 2> base = {hitchhike_config(),
+                                              freerider_config()};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const TwoReceiverBaseline sys(base[i]);
+    const ExcitationSpec exc = fig12_excitation(base[i].carrier);
+    const double thr = sys.tag_throughput_bps(
+        exc.airtime_duty(), sc.original_snr_db(kWall, base[i].carrier),
+        sc.link.snr_db(sc.tag_rx_distance_m, base[i].carrier));
+    rows[2 + i] = {base[i].name, thr / 1e3};
+  }
+  return rows;
+}
+
+}  // namespace ms

@@ -1,0 +1,120 @@
+#include "sim/trace_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace ms {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'S', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+struct RawHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::uint32_t complex_iq;  // 0 = real, 1 = complex
+  std::uint32_t reserved;
+  double sample_rate_hz;
+  std::uint64_t n_samples;
+};
+static_assert(sizeof(RawHeader) == 32);
+
+void write_header(std::ofstream& f, bool complex_iq, double rate,
+                  std::size_t n) {
+  RawHeader h{};
+  std::memcpy(h.magic, kMagic, 4);
+  h.version = kVersion;
+  h.complex_iq = complex_iq ? 1 : 0;
+  h.sample_rate_hz = rate;
+  h.n_samples = n;
+  f.write(reinterpret_cast<const char*>(&h), sizeof h);
+}
+
+RawHeader read_header(std::ifstream& f, const std::string& path) {
+  RawHeader h{};
+  f.read(reinterpret_cast<char*>(&h), sizeof h);
+  MS_CHECK_MSG(f.good(), "cannot read trace header: " + path);
+  MS_CHECK_MSG(std::memcmp(h.magic, kMagic, 4) == 0,
+               "not a multiscatter trace file: " + path);
+  MS_CHECK_MSG(h.version == kVersion, "unsupported trace version: " + path);
+  return h;
+}
+
+}  // namespace
+
+void save_trace(const std::string& path, std::span<const Cf> iq,
+                double sample_rate_hz) {
+  std::ofstream f(path, std::ios::binary);
+  MS_CHECK_MSG(f.is_open(), "cannot open for write: " + path);
+  write_header(f, true, sample_rate_hz, iq.size());
+  f.write(reinterpret_cast<const char*>(iq.data()),
+          static_cast<std::streamsize>(iq.size() * sizeof(Cf)));
+  MS_CHECK_MSG(f.good(), "write failed: " + path);
+}
+
+void save_trace(const std::string& path, std::span<const float> samples,
+                double sample_rate_hz) {
+  std::ofstream f(path, std::ios::binary);
+  MS_CHECK_MSG(f.is_open(), "cannot open for write: " + path);
+  write_header(f, false, sample_rate_hz, samples.size());
+  f.write(reinterpret_cast<const char*>(samples.data()),
+          static_cast<std::streamsize>(samples.size() * sizeof(float)));
+  MS_CHECK_MSG(f.good(), "write failed: " + path);
+}
+
+TraceHeader read_trace_header(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  MS_CHECK_MSG(f.is_open(), "cannot open: " + path);
+  const RawHeader h = read_header(f, path);
+  return {h.sample_rate_hz, h.complex_iq != 0,
+          static_cast<std::size_t>(h.n_samples)};
+}
+
+Iq load_iq_trace(const std::string& path, double* sample_rate_hz) {
+  std::ifstream f(path, std::ios::binary);
+  MS_CHECK_MSG(f.is_open(), "cannot open: " + path);
+  const RawHeader h = read_header(f, path);
+  MS_CHECK_MSG(h.complex_iq == 1, "trace is real-valued: " + path);
+  Iq out(static_cast<std::size_t>(h.n_samples));
+  f.read(reinterpret_cast<char*>(out.data()),
+         static_cast<std::streamsize>(out.size() * sizeof(Cf)));
+  MS_CHECK_MSG(f.good(), "truncated trace: " + path);
+  if (sample_rate_hz) *sample_rate_hz = h.sample_rate_hz;
+  return out;
+}
+
+Samples load_real_trace(const std::string& path, double* sample_rate_hz) {
+  std::ifstream f(path, std::ios::binary);
+  MS_CHECK_MSG(f.is_open(), "cannot open: " + path);
+  const RawHeader h = read_header(f, path);
+  MS_CHECK_MSG(h.complex_iq == 0, "trace is complex IQ: " + path);
+  Samples out(static_cast<std::size_t>(h.n_samples));
+  f.read(reinterpret_cast<char*>(out.data()),
+         static_cast<std::streamsize>(out.size() * sizeof(float)));
+  MS_CHECK_MSG(f.good(), "truncated trace: " + path);
+  if (sample_rate_hz) *sample_rate_hz = h.sample_rate_hz;
+  return out;
+}
+
+void save_csv(const std::string& path, std::span<const CsvColumn> columns) {
+  MS_CHECK(!columns.empty());
+  std::size_t rows = 0;
+  for (const CsvColumn& c : columns) rows = std::max(rows, c.values.size());
+  std::ofstream f(path);
+  MS_CHECK_MSG(f.is_open(), "cannot open for write: " + path);
+  for (std::size_t c = 0; c < columns.size(); ++c)
+    f << columns[c].name << (c + 1 < columns.size() ? "," : "\n");
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (r < columns[c].values.size()) f << columns[c].values[r];
+      f << (c + 1 < columns.size() ? "," : "\n");
+    }
+  }
+  MS_CHECK_MSG(f.good(), "write failed: " + path);
+}
+
+}  // namespace ms

@@ -1,0 +1,49 @@
+// Trace persistence: save/load IQ waveforms and real-valued ADC traces.
+//
+// Format: a small self-describing binary header ("MSTR", version,
+// element type, sample rate, count) followed by raw little-endian
+// float32 samples — enough to hand captures between the simulator,
+// offline analysis, and GNURadio-style tooling.  CSV writers are
+// provided for the bench outputs.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsp/iq.h"
+
+namespace ms {
+
+struct TraceHeader {
+  double sample_rate_hz = 0.0;
+  bool complex_iq = false;
+  std::size_t n_samples = 0;
+};
+
+/// Write a complex waveform.  Throws ms::Error on I/O failure.
+void save_trace(const std::string& path, std::span<const Cf> iq,
+                double sample_rate_hz);
+
+/// Write a real trace.
+void save_trace(const std::string& path, std::span<const float> samples,
+                double sample_rate_hz);
+
+/// Inspect a trace file's header without loading the payload.
+TraceHeader read_trace_header(const std::string& path);
+
+/// Load a complex waveform; throws if the file holds a real trace.
+Iq load_iq_trace(const std::string& path, double* sample_rate_hz = nullptr);
+
+/// Load a real trace; throws if the file holds complex IQ.
+Samples load_real_trace(const std::string& path,
+                        double* sample_rate_hz = nullptr);
+
+/// Write one or more named columns of doubles as CSV.
+struct CsvColumn {
+  std::string name;
+  std::vector<double> values;
+};
+void save_csv(const std::string& path, std::span<const CsvColumn> columns);
+
+}  // namespace ms

@@ -1,0 +1,61 @@
+#include "analog/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace ms {
+namespace {
+
+TEST(Energy, CycleEnergyIs50mJ) {
+  // ½·0.01F·(4.1² − 2.6²) = 50.25 mJ (§3).
+  EXPECT_NEAR(energy_per_cycle_j(), 50.25e-3, 0.1e-3);
+}
+
+TEST(Energy, IndoorHarvestTimeMatchesPaper) {
+  // 500 lux → ~216 s to harvest 50 mJ (Table 4's indoor case).
+  EXPECT_NEAR(harvest_time_s(500.0), 216.2, 10.0);
+}
+
+TEST(Energy, OutdoorHarvestTimeMatchesPaper) {
+  // 1.04e5 lux → ~0.78 s.
+  EXPECT_NEAR(harvest_time_s(1.04e5), 0.78, 0.05);
+}
+
+TEST(Energy, ActiveTimeAtPeakPower) {
+  // 50 mJ / 279.5 mW ≈ 0.18 s (§3).
+  EXPECT_NEAR(active_time_s(279.5e-3), 0.18, 0.01);
+}
+
+TEST(Energy, PacketsPerCycleTable4) {
+  const double load = 279.5e-3;
+  EXPECT_NEAR(packets_per_cycle(2000.0, load), 360.0, 10.0);  // 802.11n/b
+  EXPECT_NEAR(packets_per_cycle(70.0, load), 12.6, 0.5);      // BLE
+  EXPECT_NEAR(packets_per_cycle(20.0, load), 3.6, 0.2);       // ZigBee
+}
+
+TEST(Energy, AvgExchangeTimesIndoor) {
+  const double load = 279.5e-3;
+  EXPECT_NEAR(avg_exchange_time_s(2000.0, load, 500.0), 0.60, 0.05);
+  EXPECT_NEAR(avg_exchange_time_s(70.0, load, 500.0), 17.2, 1.5);
+  EXPECT_NEAR(avg_exchange_time_s(20.0, load, 500.0), 60.1, 5.0);
+}
+
+TEST(Energy, AvgExchangeTimesOutdoor) {
+  const double load = 279.5e-3;
+  EXPECT_NEAR(avg_exchange_time_s(2000.0, load, 1.04e5), 2.2e-3, 0.3e-3);
+  EXPECT_NEAR(avg_exchange_time_s(70.0, load, 1.04e5), 61.9e-3, 8e-3);
+}
+
+TEST(Energy, MoreLightHarvestsFaster) {
+  EXPECT_LT(harvest_time_s(1000.0), harvest_time_s(500.0));
+}
+
+TEST(Energy, SolarPowerMonotone) {
+  double prev = 0.0;
+  for (double lux : {10.0, 100.0, 1000.0, 1e4, 1e5}) {
+    EXPECT_GT(solar_power_w(lux), prev);
+    prev = solar_power_w(lux);
+  }
+}
+
+}  // namespace
+}  // namespace ms

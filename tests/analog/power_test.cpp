@@ -1,0 +1,38 @@
+#include "analog/power.h"
+
+#include <gtest/gtest.h>
+
+namespace ms {
+namespace {
+
+TEST(Power, Table3Total) {
+  const TagPowerModel m;
+  // 2.5 + 260 + 1.0 + 0.1 + 15.9 = 279.5 mW.
+  EXPECT_NEAR(m.total_peak_mw(20e6), 279.5, 1e-9);
+}
+
+TEST(Power, Table3Breakdown) {
+  const TagPowerModel m;
+  EXPECT_NEAR(m.pkt_detection_mw(20e6), 262.5, 1e-9);
+  EXPECT_NEAR(m.modulation_mw(), 1.1, 1e-9);
+  EXPECT_NEAR(m.oscillator_mw, 15.9, 1e-9);
+}
+
+TEST(Power, AdcDominatesAtFullRate) {
+  const TagPowerModel m;
+  EXPECT_GT(m.adc_mw(20e6) / m.total_peak_mw(20e6), 0.9);
+}
+
+TEST(Power, LowerAdcRateCutsTotal) {
+  const TagPowerModel m;
+  // At 2.5 Msps the ADC draws 32.5 mW → total ≈ 52 mW.
+  EXPECT_NEAR(m.total_peak_mw(2.5e6), 2.5 + 32.5 + 1.1 + 15.9, 1e-9);
+}
+
+TEST(Power, IcBasebandEstimate) {
+  // §3: Libero IC simulation gives 1.89 mW for the full baseband.
+  EXPECT_NEAR(ic_baseband_power_mw(), 1.89, 1e-9);
+}
+
+}  // namespace
+}  // namespace ms

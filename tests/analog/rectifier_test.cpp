@@ -1,0 +1,112 @@
+#include "analog/rectifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/ops.h"
+
+namespace ms {
+namespace {
+
+/// Square-wave envelope (like on/off keying) at the given rate.
+Samples square_envelope(double amp, double period_s, double fs, double dur_s) {
+  Samples out(static_cast<std::size_t>(dur_s * fs));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    out[i] = std::fmod(t, period_s) < period_s / 2 ? static_cast<float>(amp) : 0.0f;
+  }
+  return out;
+}
+
+TEST(Rectifier, BasicLosesTurnOnVoltage) {
+  const Rectifier rect(basic_rectifier());
+  const Samples in(2000, 0.8f);
+  const Samples out = rect.run(in, 100e6);
+  // Steady state: (Vin − Von) scaled by the τd/(τc+τd) load divider:
+  // 0.5 V × 40/50 = 0.4 V.
+  EXPECT_NEAR(out.back(), 0.4f, 0.02f);
+}
+
+TEST(Rectifier, BasicBlocksSubThresholdInput) {
+  // §2.2.1: if the peak voltage is below the diode turn-on, nothing
+  // comes through.
+  const Rectifier rect(basic_rectifier());
+  const Samples in(1000, 0.2f);  // below 0.3 V turn-on
+  const Samples out = rect.run(in, 100e6);
+  EXPECT_NEAR(out.back(), 0.0f, 1e-3);
+}
+
+TEST(Rectifier, ClampPassesSubThresholdInput) {
+  // The clamp effectively doubles the drive (Fig 3c / Fig 4a).
+  const Rectifier rect(multiscatter_rectifier());
+  const Samples in(1000, 0.25f);
+  const Samples out = rect.run(in, 100e6);
+  EXPECT_GT(out.back(), 0.05f);
+}
+
+TEST(Rectifier, ClampProducesHigherVoltageThanBasic) {
+  const Rectifier ours(multiscatter_rectifier());
+  const Rectifier basic(basic_rectifier());
+  const Samples in(2000, 0.5f);
+  EXPECT_GT(ours.run(in, 100e6).back(), basic.run(in, 100e6).back());
+}
+
+TEST(Rectifier, OursTracksHighBandwidthEnvelope) {
+  // A 1 MHz on/off envelope (11b-chip-scale) must survive our rectifier:
+  // the output in "off" halves must fall well below the "on" level.
+  const double fs = 100e6;
+  const Samples in = square_envelope(0.6, 1e-6, fs, 20e-6);
+  const Rectifier ours(multiscatter_rectifier());
+  const Samples out = ours.run(in, fs);
+  float on_level = 0.0f, off_level = 1.0f;
+  // Sample late in an on-half and late in an off-half.
+  on_level = out[static_cast<std::size_t>(10.4e-6 * fs)];
+  off_level = out[static_cast<std::size_t>(10.9e-6 * fs)];
+  EXPECT_GT(on_level, 2.0f * off_level);
+}
+
+TEST(Rectifier, WispSmearsHighBandwidthEnvelope) {
+  // The WISP RC is tuned for 40–160 kbps: a 1 MHz envelope is smeared
+  // (Fig 4b) — its off-half voltage barely discharges.
+  const double fs = 100e6;
+  const Samples in = square_envelope(0.6, 1e-6, fs, 20e-6);
+  const Rectifier wisp(wisp_rectifier());
+  const Samples out = wisp.run(in, fs);
+  const float on_level = out[static_cast<std::size_t>(10.4e-6 * fs)];
+  const float off_level = out[static_cast<std::size_t>(10.9e-6 * fs)];
+  EXPECT_GT(off_level, 0.8f * on_level);
+}
+
+TEST(Rectifier, WispTracksLowBandwidthEnvelope) {
+  // At RFID rates (100 kbps ⇒ 10 µs period) WISP tracks fine.
+  const double fs = 100e6;
+  const Samples in = square_envelope(0.6, 10e-6, fs, 100e-6);
+  const Rectifier wisp(wisp_rectifier());
+  const Samples out = wisp.run(in, fs);
+  const float on_level = out[static_cast<std::size_t>(54e-6 * fs)];
+  const float off_level = out[static_cast<std::size_t>(59.5e-6 * fs)];
+  EXPECT_GT(on_level, 1.5f * off_level);
+}
+
+TEST(Rectifier, OutputNonNegative) {
+  const Rectifier rect(multiscatter_rectifier());
+  Samples in(500);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = static_cast<float>(0.3 * std::sin(0.1 * i));
+  for (float v : rect.run(in, 50e6)) EXPECT_GE(v, 0.0f);
+}
+
+TEST(Rectifier, StableForAnySampleRate) {
+  // The exponential update must not blow up when dt >> τ.
+  const Rectifier rect(multiscatter_rectifier());
+  const Samples in(100, 0.5f);
+  const Samples out = rect.run(in, 1e6);  // dt = 1 µs >> τ = 40 ns
+  for (float v : out) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace ms

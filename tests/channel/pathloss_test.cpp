@@ -1,0 +1,47 @@
+#include "channel/pathloss.h"
+
+#include <gtest/gtest.h>
+
+namespace ms {
+namespace {
+
+TEST(PathLoss, MonotonicInDistance) {
+  const PathLossModel m = los_model();
+  double prev = m.loss_db(1.0);
+  for (double d = 2.0; d <= 30.0; d += 1.0) {
+    const double loss = m.loss_db(d);
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(PathLoss, LosExponentIsTwo) {
+  const PathLossModel m = los_model();
+  // 10·n dB per decade.
+  EXPECT_NEAR(m.loss_db(10.0) - m.loss_db(1.0), 20.0, 1e-9);
+}
+
+TEST(PathLoss, NlosLosesMoreThanLos) {
+  const PathLossModel los = los_model(), nlos = nlos_model();
+  for (double d : {2.0, 8.0, 20.0})
+    EXPECT_GT(nlos.loss_db(d), los.loss_db(d));
+}
+
+TEST(PathLoss, ReferenceLossIsFreeSpace) {
+  const PathLossModel m = los_model();
+  EXPECT_NEAR(m.loss_db(1.0), 40.2, 0.5);  // 2.44 GHz at 1 m
+}
+
+TEST(PathLoss, WallLossOrdering) {
+  EXPECT_EQ(wall_loss_db(WallMaterial::None), 0.0);
+  EXPECT_LT(wall_loss_db(WallMaterial::Drywall), wall_loss_db(WallMaterial::Wood));
+  EXPECT_LT(wall_loss_db(WallMaterial::Wood), wall_loss_db(WallMaterial::Concrete));
+}
+
+TEST(PathLoss, TinyDistanceClamped) {
+  const PathLossModel m = los_model();
+  EXPECT_EQ(m.loss_db(0.0), m.loss_db(0.005));
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,39 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace ms {
+namespace {
+
+TEST(Units, DbRoundTrip) {
+  EXPECT_NEAR(linear_to_db(db_to_linear(13.7)), 13.7, 1e-9);
+  EXPECT_NEAR(db_to_linear(3.0), 1.9953, 1e-3);
+  EXPECT_NEAR(db_to_linear(0.0), 1.0, 1e-12);
+}
+
+TEST(Units, DbmWattConversions) {
+  EXPECT_NEAR(dbm_to_watts(30.0), 1.0, 1e-9);
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-9);
+  EXPECT_NEAR(watts_to_dbm(1.0), 30.0, 1e-9);
+}
+
+TEST(Units, ThermalNoiseFloor) {
+  // kTB at 290 K: −174 dBm/Hz, so 1 MHz → −114 dBm, 20 MHz → −101 dBm.
+  EXPECT_NEAR(thermal_noise_dbm(1e6), -113.98, 0.1);
+  EXPECT_NEAR(thermal_noise_dbm(20e6), -100.96, 0.1);
+}
+
+TEST(Units, Wavelength24GHz) {
+  // §2.2.1: 2.4 GHz wavelength ≈ 0.12 m.
+  EXPECT_NEAR(wavelength_m(2.4e9), 0.125, 0.001);
+}
+
+TEST(Units, FsplGrowsWithDistance) {
+  const double f = 2.44e9;
+  EXPECT_NEAR(fspl_db(1.0, f), 40.2, 0.3);
+  // +20 dB per decade of distance in free space.
+  EXPECT_NEAR(fspl_db(10.0, f) - fspl_db(1.0, f), 20.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,70 @@
+#include "core/baseline/baseline.h"
+
+#include <gtest/gtest.h>
+
+namespace ms {
+namespace {
+
+TEST(Baseline, XorDecodeCombinesBothChannels) {
+  const TwoReceiverBaseline sys(hitchhike_config());
+  // Perfect channels → 0; one bad channel → dominated by it.
+  EXPECT_LT(sys.tag_ber(30.0, 30.0), 1e-6);
+  EXPECT_GT(sys.tag_ber(-10.0, 30.0), 0.15);
+  EXPECT_GT(sys.tag_ber(30.0, -10.0), 0.15);
+}
+
+TEST(Baseline, TagBerIsSymmetricInChannels) {
+  const TwoReceiverBaseline sys(hitchhike_config());
+  EXPECT_NEAR(sys.tag_ber(5.0, 15.0), sys.tag_ber(15.0, 5.0), 1e-12);
+}
+
+TEST(Baseline, OcclusionDegradesEvenWithCleanBackscatter) {
+  // Fig 9a: the decisive failure mode — original channel behind a wall,
+  // backscatter channel clean, tag BER still explodes.
+  const TwoReceiverBaseline sys(hitchhike_config());
+  const double clean_back = 25.0;
+  const double no_wall = sys.tag_ber(-3.0, clean_back);
+  const double concrete = sys.tag_ber(-3.0 - 13.0, clean_back);
+  EXPECT_LT(no_wall, 0.01);
+  EXPECT_GT(concrete, 0.3);
+}
+
+TEST(Baseline, OffsetGrowsWithDistanceUpTo8Symbols) {
+  const TwoReceiverBaseline sys(hitchhike_config());
+  EXPECT_LT(sys.mean_offset_symbols(1.0), sys.mean_offset_symbols(6.0));
+  EXPECT_DOUBLE_EQ(sys.mean_offset_symbols(20.0), 8.0);  // Fig 9b cap
+}
+
+TEST(Baseline, SampledOffsetBounded) {
+  const TwoReceiverBaseline sys(freerider_config());
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const unsigned off = sys.sample_offset_symbols(5.0, rng);
+    EXPECT_LE(off, 8u);
+  }
+}
+
+TEST(Baseline, FreeriderSlowerThanHitchhike) {
+  // FreeRider's generalized codeword translation has lower per-symbol
+  // capacity (Fig 15: 33 vs 94 kbps under occlusion).
+  const TwoReceiverBaseline hh(hitchhike_config());
+  const TwoReceiverBaseline fr(freerider_config());
+  const double thr_hh = hh.tag_throughput_bps(0.8, 10.0, 20.0);
+  const double thr_fr = fr.tag_throughput_bps(0.8, 10.0, 20.0);
+  EXPECT_GT(thr_hh, thr_fr);
+}
+
+TEST(Baseline, ThroughputCollapsesWhenOriginalChannelDies) {
+  const TwoReceiverBaseline sys(hitchhike_config());
+  const double good = sys.tag_throughput_bps(0.8, 10.0, 20.0);
+  const double occluded = sys.tag_throughput_bps(0.8, -12.0, 20.0);
+  EXPECT_LT(occluded, 0.2 * good);
+}
+
+TEST(Baseline, ConfigNames) {
+  EXPECT_STREQ(hitchhike_config().name, "hitchhike");
+  EXPECT_STREQ(freerider_config().name, "freerider");
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,80 @@
+#include "core/tag/channel_sense.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/ident/frontend.h"
+#include "core/ident/templates.h"
+
+namespace ms {
+namespace {
+
+TEST(ChannelSense, QuietChannelIsIdle) {
+  const ChannelSensor sensor;
+  const Samples quiet(200, 0.005f);
+  EXPECT_FALSE(sensor.channel_busy(quiet));
+}
+
+TEST(ChannelSense, HotChannelIsBusy) {
+  const ChannelSensor sensor;
+  const Samples hot(200, 0.3f);
+  EXPECT_TRUE(sensor.channel_busy(hot));
+}
+
+TEST(ChannelSense, SparseSpikesBelowFractionStayIdle) {
+  ChannelSenseConfig cfg;
+  cfg.busy_fraction = 0.1;
+  const ChannelSensor sensor(cfg);
+  Samples trace(200, 0.01f);
+  for (std::size_t i = 0; i < 10; ++i) trace[i * 20] = 0.5f;  // 5% above
+  EXPECT_FALSE(sensor.channel_busy(trace));
+}
+
+TEST(ChannelSense, DetectsRealExcitationEnvelope) {
+  // A real 802.11n burst on the target channel must read as busy.
+  const Iq burst = clean_preamble(Protocol::WifiN, true);
+  const Samples env =
+      rf_envelope(burst, native_sample_rate(Protocol::WifiN), FrontEndConfig{});
+  const ChannelSensor sensor;
+  EXPECT_TRUE(sensor.channel_busy(env));
+}
+
+TEST(ChannelSense, EmptyTraceIsIdle) {
+  EXPECT_FALSE(ChannelSensor{}.channel_busy({}));
+}
+
+TEST(ChannelSense, SensingRemovesInFlightCollisions) {
+  // Busy duty 0.3, bursts of 400 µs, our packet 300 µs.
+  const double without =
+      shift_collision_probability(0.3, 400e-6, 300e-6, false);
+  const double with = shift_collision_probability(0.3, 400e-6, 300e-6, true);
+  EXPECT_GT(without, 0.3);  // at least the standing duty
+  EXPECT_LT(with, without);
+  // Sensing removes exactly the standing-busy term.
+  EXPECT_NEAR(without, 0.3 + 0.7 * with, 1e-12);
+}
+
+TEST(ChannelSense, CollisionGrowsWithAirtime) {
+  double prev = 0.0;
+  for (double tx : {50e-6, 200e-6, 800e-6}) {
+    const double p = shift_collision_probability(0.2, 400e-6, tx, true);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ChannelSense, IdleChannelNeverCollides) {
+  EXPECT_NEAR(shift_collision_probability(0.0, 400e-6, 300e-6, false), 0.0,
+              1e-12);
+  EXPECT_NEAR(shift_collision_probability(0.0, 400e-6, 300e-6, true), 0.0,
+              1e-12);
+}
+
+TEST(ChannelSense, RejectsBadArguments) {
+  EXPECT_THROW(shift_collision_probability(1.0, 1e-3, 1e-3, true), Error);
+  EXPECT_THROW(shift_collision_probability(0.5, 0.0, 1e-3, true), Error);
+}
+
+}  // namespace
+}  // namespace ms

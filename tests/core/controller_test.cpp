@@ -1,0 +1,92 @@
+#include "core/tag/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/excitation.h"
+
+namespace ms {
+namespace {
+
+BackscatterLink near_link() {
+  BackscatterLink link;
+  return link;
+}
+
+TEST(Controller, PicksCarrierWithBestTagGoodput) {
+  const BackscatterLink link = near_link();
+  ExcitationSpec heavy = fig12_excitation(Protocol::Ble);   // near-saturated
+  ExcitationSpec light = fig12_excitation(Protocol::Zigbee);
+  const std::array<ExcitationSpec, 2> avail = {light, heavy};
+  const OverlayParams params = mode_params(Protocol::Ble, OverlayMode::Mode1);
+  const auto pick = pick_best_carrier(avail, params, link, 4.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(avail[*pick].protocol, Protocol::Ble);
+}
+
+TEST(Controller, NoCarriersNoPick) {
+  const BackscatterLink link = near_link();
+  const OverlayParams params = mode_params(Protocol::Ble, OverlayMode::Mode1);
+  EXPECT_FALSE(pick_best_carrier({}, params, link, 4.0).has_value());
+}
+
+TEST(Controller, MultiprotocolTagUsesAnyCarrier) {
+  TagControllerConfig cfg;
+  cfg.multiprotocol = true;
+  cfg.ident_accuracy = 1.0;
+  TagController tag(cfg, near_link());
+  Rng rng(1);
+  const std::array<ExcitationSpec, 1> wifi_n = {fig12_excitation(Protocol::WifiN)};
+  const auto r = tag.step(wifi_n, 4.0, rng);
+  EXPECT_TRUE(r.transmitted);
+  EXPECT_EQ(r.carrier, Protocol::WifiN);
+}
+
+TEST(Controller, SingleProtocolTagIdlesOnForeignCarrier) {
+  TagControllerConfig cfg;
+  cfg.multiprotocol = false;
+  cfg.only_protocol = Protocol::WifiB;
+  cfg.ident_accuracy = 1.0;
+  TagController tag(cfg, near_link());
+  Rng rng(2);
+  const std::array<ExcitationSpec, 1> wifi_n = {fig12_excitation(Protocol::WifiN)};
+  const auto r = tag.step(wifi_n, 4.0, rng);
+  EXPECT_FALSE(r.transmitted);
+  EXPECT_EQ(tag.busy_fraction(), 0.0);
+}
+
+TEST(Controller, MisidentificationLosesSlot) {
+  TagControllerConfig cfg;
+  cfg.ident_accuracy = 0.0;  // always wrong
+  TagController tag(cfg, near_link());
+  Rng rng(3);
+  const std::array<ExcitationSpec, 1> ble = {fig12_excitation(Protocol::Ble)};
+  EXPECT_FALSE(tag.step(ble, 4.0, rng).transmitted);
+}
+
+TEST(Controller, BusyFractionTracksAvailability) {
+  TagControllerConfig cfg;
+  cfg.ident_accuracy = 1.0;
+  TagController tag(cfg, near_link());
+  Rng rng(4);
+  const std::array<ExcitationSpec, 1> ble = {fig12_excitation(Protocol::Ble)};
+  for (int i = 0; i < 10; ++i) tag.step(ble, 4.0, rng);
+  for (int i = 0; i < 10; ++i) tag.step({}, 4.0, rng);
+  EXPECT_NEAR(tag.busy_fraction(), 0.5, 1e-9);
+}
+
+TEST(Controller, PicksBetterOfTwoCarriers) {
+  TagControllerConfig cfg;
+  cfg.ident_accuracy = 1.0;
+  TagController tag(cfg, near_link());
+  Rng rng(5);
+  ExcitationSpec spotty_b = fig12_excitation(Protocol::WifiB);
+  spotty_b.pkt_rate_hz = 2.0;
+  const std::array<ExcitationSpec, 2> both = {spotty_b,
+                                              fig12_excitation(Protocol::WifiN)};
+  const auto r = tag.step(both, 4.0, rng);
+  ASSERT_TRUE(r.transmitted);
+  EXPECT_EQ(r.carrier, Protocol::WifiN);  // abundant beats spotty
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,108 @@
+#include "core/overlay/fec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ms {
+namespace {
+
+TEST(Hamming74, RoundTripClean) {
+  Rng rng(1);
+  const Bits data = rng.bits(400);
+  Bits decoded = hamming74_decode(hamming74_encode(data));
+  decoded.resize(data.size());
+  EXPECT_EQ(decoded, data);
+}
+
+TEST(Hamming74, CorrectsAnySingleErrorPerBlock) {
+  Rng rng(2);
+  const Bits data = rng.bits(4);
+  const Bits coded = hamming74_encode(data);
+  ASSERT_EQ(coded.size(), 7u);
+  for (std::size_t pos = 0; pos < 7; ++pos) {
+    Bits corrupted = coded;
+    corrupted[pos] ^= 1;
+    EXPECT_EQ(hamming74_decode(corrupted), data) << "error at " << pos;
+  }
+}
+
+TEST(Hamming74, DoubleErrorsEscape) {
+  // Sanity: Hamming(7,4) has distance 3, so two errors in one block can
+  // decode wrongly — the decoder must not crash or loop.
+  const Bits data = {1, 0, 1, 1};
+  Bits coded = hamming74_encode(data);
+  coded[0] ^= 1;
+  coded[3] ^= 1;
+  const Bits decoded = hamming74_decode(coded);
+  EXPECT_EQ(decoded.size(), 4u);
+}
+
+TEST(Hamming74, PadsPartialBlock) {
+  const Bits data = {1, 0, 1};  // 3 bits → one padded block
+  const Bits coded = hamming74_encode(data);
+  EXPECT_EQ(coded.size(), 7u);
+  Bits decoded = hamming74_decode(coded);
+  decoded.resize(3);
+  EXPECT_EQ(decoded, data);
+}
+
+TEST(Interleaver, RoundTrip) {
+  Rng rng(3);
+  const Bits data = rng.bits(35);
+  const Bits inter = block_interleave(data, 7);
+  Bits out = block_deinterleave(inter, 7);
+  out.resize(data.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST(Interleaver, SpreadsBursts) {
+  // A burst of `rows` consecutive interleaved bits touches `rows`
+  // different deinterleaved rows → at most 1 bit per codeword.
+  Bits data(49, 0);
+  Bits inter = block_interleave(data, 7);
+  for (std::size_t i = 14; i < 21; ++i) inter[i] = 1;  // 7-bit burst
+  const Bits deint = block_deinterleave(inter, 7);
+  // Count errors per 7-bit codeword row.
+  for (std::size_t row = 0; row < 7; ++row) {
+    std::size_t errs = 0;
+    for (std::size_t c = 0; c < 7; ++c) errs += deint[row * 7 + c];
+    EXPECT_LE(errs, 1u) << row;
+  }
+}
+
+TEST(TagFec, EndToEndWithBurst) {
+  Rng rng(4);
+  const TagFec fec;
+  const Bits data = rng.bits(100);
+  Bits coded = fec.encode(data);
+  EXPECT_EQ(coded.size(), fec.coded_size(data.size()));
+  // A burst of interleave_rows consecutive errors is fully correctable.
+  for (std::size_t i = 21; i < 21 + fec.interleave_rows; ++i) coded[i] ^= 1;
+  EXPECT_EQ(fec.decode(coded, data.size()), data);
+}
+
+TEST(TagFec, OverheadIs74PlusPadding) {
+  const TagFec fec;
+  EXPECT_GE(fec.coded_size(400), 700u);
+  EXPECT_LE(fec.coded_size(400), 707u);
+}
+
+TEST(TagFec, RandomSparseErrorsUsuallyCorrected) {
+  Rng rng(5);
+  const TagFec fec;
+  int perfect = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Bits data = rng.bits(80);
+    Bits coded = fec.encode(data);
+    // 2% random errors — about 3 flips over 147 coded bits.
+    for (auto& b : coded)
+      if (rng.chance(0.02)) b ^= 1;
+    if (fec.decode(coded, data.size()) == data) ++perfect;
+  }
+  EXPECT_GE(perfect, 35);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,146 @@
+#include "core/overlay/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/overlay/ble_overlay.h"
+
+namespace ms {
+namespace {
+
+TEST(TagFrame, RoundTrip) {
+  TagFrame f;
+  f.tag_id = 7;
+  f.sequence = 3;
+  f.last_segment = false;
+  f.payload = {0xde, 0xad, 0xbe};
+  const Bits bits = f.to_bits();
+  EXPECT_EQ(bits.size(), TagFrame::frame_bits(3));
+  const auto parsed = TagFrame::from_bits(bits);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tag_id, 7);
+  EXPECT_EQ(parsed->sequence, 3);
+  EXPECT_FALSE(parsed->last_segment);
+  EXPECT_EQ(parsed->payload, f.payload);
+}
+
+TEST(TagFrame, SurvivesTrailingPadding) {
+  TagFrame f;
+  f.tag_id = 1;
+  f.payload = {0x42};
+  Bits bits = f.to_bits();
+  bits.insert(bits.end(), 17, 0);  // overlay capacity padding
+  const auto parsed = TagFrame::from_bits(bits);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, (Bytes{0x42}));
+}
+
+TEST(TagFrame, CrcCatchesCorruption) {
+  TagFrame f;
+  f.tag_id = 2;
+  f.payload = {1, 2, 3, 4};
+  Bits bits = f.to_bits();
+  for (std::size_t pos : {0u, 5u, 14u, 20u, 40u}) {
+    Bits bad = bits;
+    bad[pos] ^= 1;
+    EXPECT_FALSE(TagFrame::from_bits(bad).has_value()) << pos;
+  }
+}
+
+TEST(TagFrame, RejectsTruncation) {
+  TagFrame f;
+  f.payload = {9, 9, 9};
+  Bits bits = f.to_bits();
+  bits.resize(bits.size() - 10);
+  EXPECT_FALSE(TagFrame::from_bits(bits).has_value());
+}
+
+TEST(TagFrame, RejectsOversizedPayload) {
+  TagFrame f;
+  f.payload.assign(32, 0);
+  EXPECT_THROW(f.to_bits(), Error);
+}
+
+TEST(Segmentation, SingleFrameWhenSmall) {
+  Rng rng(1);
+  const Bytes reading = rng.bytes(10);
+  const auto frames = segment_reading(4, reading, 600);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].last_segment);
+  EXPECT_EQ(frames[0].payload, reading);
+}
+
+TEST(Segmentation, SplitsLongReading) {
+  Rng rng(2);
+  const Bytes reading = rng.bytes(100);
+  const auto frames = segment_reading(4, reading, TagFrame::frame_bits(16));
+  EXPECT_GE(frames.size(), 7u);  // ≤16 bytes per frame
+  for (std::size_t i = 0; i + 1 < frames.size(); ++i)
+    EXPECT_FALSE(frames[i].last_segment);
+  EXPECT_TRUE(frames.back().last_segment);
+}
+
+TEST(Assembler, ReassemblesInterleavedTags) {
+  Rng rng(3);
+  const Bytes a = rng.bytes(50), b = rng.bytes(70);
+  const auto fa = segment_reading(1, a, TagFrame::frame_bits(16));
+  const auto fb = segment_reading(2, b, TagFrame::frame_bits(16));
+  FrameAssembler asem;
+  std::optional<Bytes> got_a, got_b;
+  for (std::size_t i = 0; i < std::max(fa.size(), fb.size()); ++i) {
+    if (i < fa.size())
+      if (auto r = asem.push(fa[i])) got_a = r;
+    if (i < fb.size())
+      if (auto r = asem.push(fb[i])) got_b = r;
+  }
+  ASSERT_TRUE(got_a.has_value());
+  ASSERT_TRUE(got_b.has_value());
+  EXPECT_EQ(*got_a, a);
+  EXPECT_EQ(*got_b, b);
+}
+
+TEST(Assembler, DropsReadingAfterLostSegment) {
+  Rng rng(4);
+  const Bytes reading = rng.bytes(60);
+  auto frames = segment_reading(5, reading, TagFrame::frame_bits(16));
+  ASSERT_GE(frames.size(), 3u);
+  FrameAssembler asem;
+  asem.push(frames[0]);
+  // frames[1] lost
+  EXPECT_FALSE(asem.push(frames[2]).has_value());
+  // The partial reading must not be delivered even at the last segment.
+  for (std::size_t i = 3; i < frames.size(); ++i)
+    EXPECT_FALSE(asem.push(frames[i]).has_value());
+}
+
+TEST(Assembler, EndToEndOverOverlayChannel) {
+  // Reading → frames → overlay tag bits → waveform → decode → reassemble.
+  Rng rng(5);
+  const BleOverlay codec(OverlayParams{8, 4});
+  const Bytes reading = rng.bytes(40);
+
+  const std::size_t n_seq = 400;  // one excitation packet's capacity
+  const std::size_t cap = codec.tag_capacity(n_seq);
+  const auto frames = segment_reading(3, reading, cap);
+
+  FrameAssembler asem;
+  std::optional<Bytes> result;
+  for (const TagFrame& f : frames) {
+    Bits tag_bits = f.to_bits();
+    tag_bits.resize(cap, 0);
+    const Bits prod = rng.bits(n_seq);
+    const Iq wave = codec.tag_modulate(codec.make_carrier(prod), tag_bits);
+    const Iq rx = add_awgn(wave, 15.0, rng);
+    const OverlayDecoded out = codec.decode(rx, n_seq);
+    const auto parsed = TagFrame::from_bits(out.tag);
+    ASSERT_TRUE(parsed.has_value());
+    if (auto r = asem.push(*parsed)) result = r;
+  }
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, reading);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,82 @@
+#include "core/overlay/multi_tag.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/overlay/zigbee_overlay.h"
+
+namespace ms {
+namespace {
+
+TEST(Tdma, CapacitySplitsGroups) {
+  const ZigbeeOverlay codec(OverlayParams{7, 2});  // 3 groups/sequence
+  const TdmaPlan plan{2};
+  const std::size_t n_seq = 10;  // 30 groups total
+  EXPECT_EQ(plan.capacity_for(codec, n_seq, 0), 15u);
+  EXPECT_EQ(plan.capacity_for(codec, n_seq, 1), 15u);
+  const TdmaPlan three{3};
+  EXPECT_EQ(three.capacity_for(codec, n_seq, 0), 10u);
+  EXPECT_EQ(three.capacity_for(codec, n_seq, 0) +
+                three.capacity_for(codec, n_seq, 1) +
+                three.capacity_for(codec, n_seq, 2),
+            30u);
+}
+
+TEST(Tdma, MultiplexDemultiplexRoundTrip) {
+  const ZigbeeOverlay codec(OverlayParams{7, 2});
+  const TdmaPlan plan{3};
+  const std::size_t n_seq = 8;
+  Rng rng(1);
+  std::vector<Bits> per_tag;
+  for (unsigned t = 0; t < plan.n_tags; ++t)
+    per_tag.push_back(rng.bits(plan.capacity_for(codec, n_seq, t)));
+  const Bits mux = tdma_multiplex(plan, codec, n_seq, per_tag);
+  EXPECT_EQ(mux.size(), codec.tag_capacity(n_seq));
+  const auto demux = tdma_demultiplex(plan, mux);
+  ASSERT_EQ(demux.size(), plan.n_tags);
+  for (unsigned t = 0; t < plan.n_tags; ++t) EXPECT_EQ(demux[t], per_tag[t]);
+}
+
+TEST(Tdma, WrongCapacityThrows) {
+  const ZigbeeOverlay codec(OverlayParams{7, 2});
+  const TdmaPlan plan{2};
+  std::vector<Bits> per_tag = {Bits(3, 0), Bits(99, 0)};
+  EXPECT_THROW(tdma_multiplex(plan, codec, 4, per_tag), Error);
+}
+
+TEST(Tdma, TwoTagsShareOnePacketOverTheAir) {
+  // Both tags modulate their own groups of the same carrier; one radio
+  // decodes the packet once and demultiplexes both sensor streams.
+  Rng rng(2);
+  const ZigbeeOverlay codec(OverlayParams{7, 2});
+  const TdmaPlan plan{2};
+  const std::size_t n_seq = 20;
+
+  std::vector<Bits> per_tag;
+  for (unsigned t = 0; t < plan.n_tags; ++t)
+    per_tag.push_back(rng.bits(plan.capacity_for(codec, n_seq, t)));
+  const Bits combined = tdma_multiplex(plan, codec, n_seq, per_tag);
+
+  const Bits prod = rng.bits(n_seq * codec.productive_bits_per_sequence());
+  const Iq wave = codec.tag_modulate(codec.make_carrier(prod), combined);
+  const Iq rx = add_awgn(wave, 15.0, rng);
+  const OverlayDecoded out = codec.decode(rx, n_seq);
+
+  const auto streams = tdma_demultiplex(plan, out.tag);
+  for (unsigned t = 0; t < plan.n_tags; ++t)
+    EXPECT_LT(bit_error_rate(per_tag[t], streams[t]), 0.01) << "tag " << t;
+  EXPECT_LT(bit_error_rate(prod, out.productive), 0.01);
+}
+
+TEST(Tdma, SingleTagPlanIsIdentity) {
+  const TdmaPlan plan{1};
+  const Bits bits = {1, 0, 1, 1, 0};
+  const auto demux = tdma_demultiplex(plan, bits);
+  ASSERT_EQ(demux.size(), 1u);
+  EXPECT_EQ(demux[0], bits);
+}
+
+}  // namespace
+}  // namespace ms

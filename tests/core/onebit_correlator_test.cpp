@@ -1,0 +1,98 @@
+#include "core/ident/onebit_correlator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "dsp/correlate.h"
+
+namespace ms {
+namespace {
+
+std::vector<int8_t> random_signs(std::size_t n, Rng& rng) {
+  std::vector<int8_t> s(n);
+  for (auto& v : s) v = rng.chance(0.5) ? 1 : -1;
+  return s;
+}
+
+TEST(PackedBits, DotMatchesReference) {
+  Rng rng(1);
+  for (std::size_t n : {1u, 7u, 64u, 65u, 120u, 300u}) {
+    const auto a = random_signs(n, rng);
+    const auto b = random_signs(n, rng);
+    long ref = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      ref += static_cast<int>(a[i]) * static_cast<int>(b[i]);
+    EXPECT_EQ(PackedBits(a).dot(PackedBits(b)), ref) << n;
+  }
+}
+
+TEST(PackedBits, CorrelationMatchesSignCorrelation) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(200);
+    const auto a = random_signs(n, rng);
+    const auto b = random_signs(n, rng);
+    EXPECT_DOUBLE_EQ(PackedBits(a).correlation(PackedBits(b)),
+                     sign_correlation(a, b));
+  }
+}
+
+TEST(PackedBits, SelfCorrelationIsOne) {
+  Rng rng(3);
+  const auto a = random_signs(120, rng);
+  EXPECT_DOUBLE_EQ(PackedBits(a).correlation(PackedBits(a)), 1.0);
+}
+
+TEST(PackedBits, SizeMismatchThrows) {
+  Rng rng(4);
+  const PackedBits a(random_signs(64, rng));
+  const PackedBits b(random_signs(65, rng));
+  EXPECT_THROW(a.dot(b), Error);
+}
+
+TEST(PackedBits, EmptyIsZero) {
+  const PackedBits a{std::span<const int8_t>{}};
+  EXPECT_EQ(a.dot(a), 0);
+  EXPECT_DOUBLE_EQ(a.correlation(a), 0.0);
+}
+
+TEST(PackedSliding, MatchesNaiveSliding) {
+  Rng rng(5);
+  const auto stream = random_signs(500, rng);
+  const auto tmpl_signs = random_signs(120, rng);
+  const PackedBits tmpl(tmpl_signs);
+  const auto fast = packed_sliding_correlation(stream, tmpl);
+  ASSERT_EQ(fast.size(), 381u);
+  for (std::size_t off = 0; off < fast.size(); ++off) {
+    const double ref = sign_correlation(
+        std::span<const int8_t>(stream).subspan(off, 120), tmpl_signs);
+    EXPECT_DOUBLE_EQ(fast[off], ref) << off;
+  }
+}
+
+TEST(PackedSliding, FindsEmbeddedTemplate) {
+  Rng rng(6);
+  auto stream = random_signs(400, rng);
+  const auto tmpl_signs = random_signs(100, rng);
+  const std::size_t pos = 137;
+  for (std::size_t i = 0; i < tmpl_signs.size(); ++i)
+    stream[pos + i] = tmpl_signs[i];
+  const auto c = packed_sliding_correlation(stream, PackedBits(tmpl_signs));
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < c.size(); ++i)
+    if (c[i] > c[best]) best = i;
+  EXPECT_EQ(best, pos);
+  EXPECT_DOUBLE_EQ(c[pos], 1.0);
+}
+
+TEST(PackedSliding, StreamShorterThanTemplateIsEmpty) {
+  Rng rng(7);
+  const auto stream = random_signs(50, rng);
+  EXPECT_TRUE(
+      packed_sliding_correlation(stream, PackedBits(random_signs(100, rng)))
+          .empty());
+}
+
+}  // namespace
+}  // namespace ms

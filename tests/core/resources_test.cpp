@@ -1,0 +1,72 @@
+#include "core/ident/resources.h"
+
+#include <gtest/gtest.h>
+
+namespace ms {
+namespace {
+
+TEST(Resources, Table2PerProtocolRow) {
+  // Table 2: 120 multipliers, 119 adders, 33,341 DFFs per protocol.
+  const CorrelatorResources r = naive_correlator(120);
+  EXPECT_EQ(r.multipliers, 120u);
+  EXPECT_EQ(r.adders, 119u);
+  EXPECT_EQ(r.dffs, 33341u);
+}
+
+TEST(Resources, Table2NaiveTotal) {
+  const CorrelatorResources r = naive_four_protocols(120);
+  EXPECT_EQ(r.multipliers, 480u);
+  EXPECT_EQ(r.adders, 476u);
+  EXPECT_EQ(r.dffs, 133364u);
+}
+
+TEST(Resources, Table2NanoImplementation) {
+  const CorrelatorResources r = one_bit_four_protocols(120);
+  EXPECT_EQ(r.multipliers, 0u);
+  EXPECT_EQ(r.dffs, 2860u);
+}
+
+TEST(Resources, NaiveDoesNotFitNano) {
+  EXPECT_FALSE(fits_agln250(naive_four_protocols(120)));
+  EXPECT_FALSE(fits_agln250(naive_correlator(120)));  // even one protocol
+}
+
+TEST(Resources, OneBitFitsNano) {
+  EXPECT_TRUE(fits_agln250(one_bit_four_protocols(120)));
+}
+
+TEST(Resources, DffsScaleWithTemplateSize) {
+  EXPECT_LT(one_bit_four_protocols(60).dffs, one_bit_four_protocols(120).dffs);
+  EXPECT_LT(naive_correlator(60).dffs, naive_correlator(120).dffs);
+}
+
+TEST(Resources, Table5Anchors) {
+  // 20 MS/s no quantization: 564 mW / 34,751 LUTs.
+  const IdentPowerEstimate full = ident_power(20e6, false);
+  EXPECT_NEAR(full.power_mw, 564.0, 1.0);
+  EXPECT_EQ(full.luts, 34751u);
+  // 20 MS/s ±1 quantization: 12 mW / 1,574 LUTs.
+  const IdentPowerEstimate q20 = ident_power(20e6, true);
+  EXPECT_NEAR(q20.power_mw, 12.0, 0.1);
+  EXPECT_EQ(q20.luts, 1574u);
+  // 2.5 MS/s ±1: 2 mW / 1,070 LUTs.
+  const IdentPowerEstimate q25 = ident_power(2.5e6, true);
+  EXPECT_NEAR(q25.power_mw, 2.0, 0.1);
+  EXPECT_EQ(q25.luts, 1070u);
+}
+
+TEST(Resources, QuantizationSaves282x) {
+  // §3: 2 mW at 2.5 MS/s ±1 vs 564 mW naive → 282× lower power.
+  const double naive = ident_power(20e6, false).power_mw;
+  const double ours = ident_power(2.5e6, true).power_mw;
+  EXPECT_NEAR(naive / ours, 282.0, 10.0);
+}
+
+TEST(Resources, PowerMonotoneInRate) {
+  for (bool quant : {false, true})
+    EXPECT_LT(ident_power(2.5e6, quant).power_mw,
+              ident_power(20e6, quant).power_mw);
+}
+
+}  // namespace
+}  // namespace ms

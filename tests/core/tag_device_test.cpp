@@ -1,0 +1,98 @@
+#include "core/tag/tag_device.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/excitation.h"
+
+namespace ms {
+namespace {
+
+TagDeviceConfig indoor_config() {
+  TagDeviceConfig cfg;
+  cfg.lux = 500.0;
+  cfg.adc_rate_hz = 20e6;  // Table 4 assumes the full 279.5 mW draw
+  cfg.ident_accuracy = 1.0;
+  return cfg;
+}
+
+TEST(TagDevice, StartsChargingAndWakesWhenFull) {
+  TagDevice dev(indoor_config(), BackscatterLink{});
+  Rng rng(1);
+  EXPECT_EQ(dev.state(), TagDevice::State::Charging);
+  // Indoor harvest takes ~216 s; after 230 s the device must have woken.
+  const std::array<ExcitationSpec, 0> none{};
+  dev.run(230.0, 0.5, none, 4.0, rng);
+  EXPECT_GE(dev.stats().charge_cycles, 1u);
+}
+
+TEST(TagDevice, ActiveWindowIsAboutPointTwoSeconds) {
+  TagDevice dev(indoor_config(), BackscatterLink{});
+  Rng rng(2);
+  const std::array<ExcitationSpec, 0> none{};
+  // One full cycle: charge (~216 s) + discharge (~0.19 s with harvest).
+  dev.run(220.0, 0.01, none, 4.0, rng);
+  EXPECT_GT(dev.stats().time_active_s, 0.1);
+  EXPECT_LT(dev.stats().time_active_s, 0.5);
+}
+
+TEST(TagDevice, Table4ExchangeCadence) {
+  // 802.11n at 2000 pkt/s indoors: ~360 exchanges per cycle, one cycle
+  // per ~216 s → average exchange time ≈ 0.6 s (Table 4).
+  TagDevice dev(indoor_config(), BackscatterLink{});
+  Rng rng(3);
+  const std::array<ExcitationSpec, 1> exc = {table4_excitation(Protocol::WifiN)};
+  dev.run(450.0, 0.01, exc, 3.0, rng);  // two full cycles
+  EXPECT_GE(dev.stats().charge_cycles, 2u);
+  EXPECT_NEAR(static_cast<double>(dev.stats().packets_backscattered) /
+                  dev.stats().charge_cycles,
+              360.0, 80.0);
+  EXPECT_NEAR(dev.avg_exchange_time_s(), 0.6, 0.2);
+}
+
+TEST(TagDevice, MisidentificationReducesBackscatters) {
+  TagDeviceConfig cfg = indoor_config();
+  cfg.ident_accuracy = 0.5;
+  TagDevice dev(cfg, BackscatterLink{});
+  Rng rng(4);
+  const std::array<ExcitationSpec, 1> exc = {table4_excitation(Protocol::WifiN)};
+  dev.run(230.0, 0.01, exc, 3.0, rng);
+  const auto& s = dev.stats();
+  EXPECT_GT(s.packets_seen, 0u);
+  EXPECT_NEAR(static_cast<double>(s.packets_identified) /
+                  static_cast<double>(s.packets_seen),
+              0.5, 0.1);
+}
+
+TEST(TagDevice, OutdoorCyclesMuchFaster) {
+  TagDeviceConfig cfg = indoor_config();
+  cfg.lux = 1.04e5;
+  TagDevice dev(cfg, BackscatterLink{});
+  Rng rng(5);
+  const std::array<ExcitationSpec, 0> none{};
+  dev.run(10.0, 0.005, none, 4.0, rng);
+  // Outdoor harvest is 0.78 s per cycle → ~10 cycles in 10 s.
+  EXPECT_GE(dev.stats().charge_cycles, 7u);
+}
+
+TEST(TagDevice, EnergyConservation) {
+  TagDevice dev(indoor_config(), BackscatterLink{});
+  Rng rng(6);
+  const std::array<ExcitationSpec, 0> none{};
+  dev.run(300.0, 0.05, none, 4.0, rng);
+  const auto& s = dev.stats();
+  // harvested = spent + stored (within step-quantization slack).
+  EXPECT_NEAR(s.energy_harvested_j, s.energy_spent_j + dev.usable_energy_j(),
+              0.2 * s.energy_harvested_j);
+}
+
+TEST(TagDevice, NoExcitationNoTagBits) {
+  TagDevice dev(indoor_config(), BackscatterLink{});
+  Rng rng(7);
+  const std::array<ExcitationSpec, 0> none{};
+  dev.run(250.0, 0.05, none, 4.0, rng);
+  EXPECT_EQ(dev.stats().packets_backscattered, 0u);
+  EXPECT_EQ(dev.stats().tag_bits, 0.0);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,88 @@
+#include "dsp/correlate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ms {
+namespace {
+
+TEST(Correlate, PerfectCorrelationIsOne) {
+  const Samples x = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(pearson(x, x), 1.0, 1e-9);
+}
+
+TEST(Correlate, AntiCorrelationIsMinusOne) {
+  const Samples x = {1, 2, 3, 4, 5};
+  const Samples y = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-9);
+}
+
+TEST(Correlate, ScaleAndOffsetInvariant) {
+  const Samples x = {1, -2, 3, 0, 2};
+  Samples y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 3.0f * x[i] + 7.0f;
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-6);
+}
+
+TEST(Correlate, ZeroVarianceGivesZero) {
+  EXPECT_DOUBLE_EQ(pearson(Samples{1, 1, 1}, Samples{1, 2, 3}), 0.0);
+}
+
+TEST(Correlate, UncorrelatedNoiseNearZero) {
+  Rng rng(1);
+  Samples a(5000), b(5000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.normal());
+    b[i] = static_cast<float>(rng.normal());
+  }
+  EXPECT_LT(std::abs(pearson(a, b)), 0.05);
+}
+
+TEST(Correlate, SlidingFindsEmbeddedTemplate) {
+  Rng rng(2);
+  Samples tmpl(32);
+  for (float& v : tmpl) v = static_cast<float>(rng.normal());
+  Samples x(200);
+  for (float& v : x) v = static_cast<float>(rng.normal() * 0.1);
+  const std::size_t pos = 77;
+  for (std::size_t i = 0; i < tmpl.size(); ++i) x[pos + i] += tmpl[i];
+  const Samples c = sliding_correlation(x, tmpl);
+  EXPECT_EQ(argmax(c), pos);
+  EXPECT_GT(c[pos], 0.9f);
+}
+
+TEST(Correlate, SlidingShorterThanTemplateIsEmpty) {
+  EXPECT_TRUE(sliding_correlation(Samples{1, 2}, Samples{1, 2, 3}).empty());
+}
+
+TEST(Correlate, SignCorrelationIdentical) {
+  const std::vector<int8_t> a = {1, -1, 1, 1, -1};
+  EXPECT_DOUBLE_EQ(sign_correlation(a, a), 1.0);
+}
+
+TEST(Correlate, SignCorrelationOpposite) {
+  const std::vector<int8_t> a = {1, -1, 1, -1};
+  const std::vector<int8_t> b = {-1, 1, -1, 1};
+  EXPECT_DOUBLE_EQ(sign_correlation(a, b), -1.0);
+}
+
+TEST(Correlate, SignCorrelationHalfAgreement) {
+  const std::vector<int8_t> a = {1, 1, 1, 1};
+  const std::vector<int8_t> b = {1, 1, -1, -1};
+  EXPECT_DOUBLE_EQ(sign_correlation(a, b), 0.0);
+}
+
+TEST(Correlate, PeakCorrelationMatchesSlidingMax) {
+  Rng rng(3);
+  Samples tmpl(16), x(100);
+  for (float& v : tmpl) v = static_cast<float>(rng.normal());
+  for (float& v : x) v = static_cast<float>(rng.normal());
+  const Samples c = sliding_correlation(x, tmpl);
+  EXPECT_NEAR(peak_correlation(x, tmpl), c[argmax(c)], 1e-9);
+}
+
+}  // namespace
+}  // namespace ms

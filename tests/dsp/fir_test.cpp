@@ -1,0 +1,86 @@
+#include "dsp/fir.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace ms {
+namespace {
+
+TEST(Fir, LowpassHasUnityDcGain) {
+  const auto taps = design_lowpass(0.2, 31);
+  const double sum = std::accumulate(taps.begin(), taps.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Fir, LowpassIsSymmetric) {
+  const auto taps = design_lowpass(0.1, 21);
+  for (std::size_t i = 0; i < taps.size() / 2; ++i)
+    EXPECT_NEAR(taps[i], taps[taps.size() - 1 - i], 1e-7);
+}
+
+TEST(Fir, LowpassRejectsBadArgs) {
+  EXPECT_THROW(design_lowpass(0.6, 31), Error);   // cutoff >= 0.5
+  EXPECT_THROW(design_lowpass(0.2, 30), Error);   // even tap count
+}
+
+TEST(Fir, LowpassPassesDcAndBlocksHighFreq) {
+  const auto taps = design_lowpass(0.1, 63);
+  Samples dc(256, 1.0f);
+  const Samples dc_out = fir_filter(dc, taps);
+  EXPECT_NEAR(dc_out[128], 1.0f, 1e-3);
+
+  Samples hf(256);
+  for (std::size_t i = 0; i < hf.size(); ++i)
+    hf[i] = static_cast<float>(std::cos(M_PI * 0.9 * i));  // 0.45 fs
+  const Samples hf_out = fir_filter(hf, taps);
+  EXPECT_LT(std::abs(hf_out[128]), 0.05f);
+}
+
+TEST(Fir, GaussianNormalizedAndSymmetric) {
+  const auto taps = design_gaussian(0.5, 8, 3);
+  const double sum = std::accumulate(taps.begin(), taps.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  for (std::size_t i = 0; i < taps.size() / 2; ++i)
+    EXPECT_NEAR(taps[i], taps[taps.size() - 1 - i], 1e-7);
+  EXPECT_EQ(taps.size(), 25u);  // sps * span + 1
+}
+
+TEST(Fir, GaussianNarrowerBtIsWider) {
+  // Smaller BT → more ISI → a flatter, wider impulse response.
+  const auto bt_half = design_gaussian(0.5, 8);
+  const auto bt_tenth = design_gaussian(0.1, 8);
+  EXPECT_GT(bt_half[bt_half.size() / 2], bt_tenth[bt_tenth.size() / 2]);
+}
+
+TEST(Fir, SameLengthOutputAlignedWithInput) {
+  const auto taps = design_lowpass(0.25, 11);
+  Samples impulse(32, 0.0f);
+  impulse[16] = 1.0f;
+  const Samples out = fir_filter(impulse, taps);
+  ASSERT_EQ(out.size(), impulse.size());
+  // Peak of the filtered impulse stays at the impulse position.
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out[i] > out[peak]) peak = i;
+  EXPECT_EQ(peak, 16u);
+}
+
+TEST(Fir, ComplexFilterMatchesRealOnRealInput) {
+  const auto taps = design_lowpass(0.2, 15);
+  Samples re = {1, 2, 3, 4, 5, 4, 3, 2, 1, 0, 0, 0, 1, 1};
+  Iq cx(re.size());
+  for (std::size_t i = 0; i < re.size(); ++i) cx[i] = Cf(re[i], 0.0f);
+  const Samples ro = fir_filter(re, taps);
+  const Iq co = fir_filter(cx, taps);
+  for (std::size_t i = 0; i < re.size(); ++i) {
+    EXPECT_NEAR(co[i].real(), ro[i], 1e-5);
+    EXPECT_NEAR(co[i].imag(), 0.0f, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "phy/ble/ble.h"
+
+namespace ms {
+namespace {
+
+constexpr std::uint32_t kConnAa = 0x50123456;
+constexpr std::uint32_t kCrcInit = 0xabcdef;
+
+TEST(BleData, FrameRoundTrip) {
+  BleConfig cfg;
+  cfg.channel_index = 12;  // a data channel
+  const BlePhy phy(cfg);
+  Rng rng(1);
+  const Bytes payload = rng.bytes(60);
+  const Iq frame = phy.modulate_data_frame(kConnAa, payload, kCrcInit);
+  const auto rx = phy.demodulate_data_frame(frame, payload.size(), kCrcInit);
+  EXPECT_TRUE(rx.crc_ok);
+  EXPECT_EQ(rx.payload, payload);
+}
+
+TEST(BleData, WrongCrcInitFailsCheck) {
+  const BlePhy phy;
+  Rng rng(2);
+  const Bytes payload = rng.bytes(20);
+  const Iq frame = phy.modulate_data_frame(kConnAa, payload, kCrcInit);
+  EXPECT_FALSE(phy.demodulate_data_frame(frame, payload.size(), 0x111111).crc_ok);
+}
+
+TEST(BleData, LongPduSupported) {
+  // Data-channel PDUs go to 251 bytes (4.2 data length extension).
+  const BlePhy phy;
+  Rng rng(3);
+  const Bytes payload = rng.bytes(251);
+  const auto rx = phy.demodulate_data_frame(
+      phy.modulate_data_frame(kConnAa, payload, kCrcInit), 251, kCrcInit);
+  EXPECT_TRUE(rx.crc_ok);
+  EXPECT_EQ(rx.payload, payload);
+}
+
+TEST(BleData, SurvivesNoise) {
+  const BlePhy phy;
+  Rng rng(4);
+  const Bytes payload = rng.bytes(100);
+  const Iq noisy = add_awgn(
+      phy.modulate_data_frame(kConnAa, payload, kCrcInit), 14.0, rng);
+  const auto rx = phy.demodulate_data_frame(noisy, payload.size(), kCrcInit);
+  EXPECT_LT(bit_error_rate(bytes_to_bits_lsb(payload),
+                           bytes_to_bits_lsb(rx.payload)),
+            0.02);
+}
+
+TEST(BleData, RejectsOversizedPayload) {
+  const BlePhy phy;
+  Rng rng(5);
+  EXPECT_THROW(phy.modulate_data_frame(kConnAa, rng.bytes(252), kCrcInit),
+               Error);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,74 @@
+#include "phy/interleaver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ms {
+namespace {
+
+TEST(Interleaver, RoundTripBpsk) {
+  Rng rng(1);
+  const Bits data = rng.bits(48);
+  EXPECT_EQ(deinterleave_11n(interleave_11n(data, 48, 1), 48, 1), data);
+}
+
+TEST(Interleaver, RoundTripQpsk) {
+  Rng rng(2);
+  const Bits data = rng.bits(96 * 3);  // three symbols
+  EXPECT_EQ(deinterleave_11n(interleave_11n(data, 96, 2), 96, 2), data);
+}
+
+TEST(Interleaver, RoundTripQam16) {
+  Rng rng(3);
+  const Bits data = rng.bits(192);
+  EXPECT_EQ(deinterleave_11n(interleave_11n(data, 192, 4), 192, 4), data);
+}
+
+TEST(Interleaver, IsAPermutation) {
+  // Interleaving a one-hot vector keeps exactly one set bit.
+  for (std::size_t k = 0; k < 48; ++k) {
+    Bits data(48, 0);
+    data[k] = 1;
+    const Bits out = interleave_11n(data, 48, 1);
+    EXPECT_EQ(std::count(out.begin(), out.end(), 1), 1) << k;
+  }
+}
+
+TEST(Interleaver, SpreadsAdjacentBits) {
+  // Adjacent coded bits must land at least 2 positions apart (they map
+  // to different subcarriers).
+  Bits a(48, 0), b(48, 0);
+  a[0] = 1;
+  b[1] = 1;
+  const Bits ia = interleave_11n(a, 48, 1);
+  const Bits ib = interleave_11n(b, 48, 1);
+  const auto pos = [](const Bits& v) {
+    return std::distance(v.begin(), std::find(v.begin(), v.end(), 1));
+  };
+  EXPECT_GE(std::abs(pos(ia) - pos(ib)), 2);
+}
+
+TEST(Interleaver, RejectsBadSizes) {
+  EXPECT_THROW(interleave_11n(Bits(50, 0), 48, 1), Error);
+  EXPECT_THROW(interleave_11n(Bits(48, 0), 15, 1), Error);
+}
+
+TEST(Interleaver, MultiSymbolIndependence) {
+  Rng rng(4);
+  const Bits one = rng.bits(48);
+  Bits two = one;
+  two.insert(two.end(), one.begin(), one.end());
+  const Bits i1 = interleave_11n(one, 48, 1);
+  const Bits i2 = interleave_11n(two, 48, 1);
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_EQ(i2[i], i1[i]);
+    EXPECT_EQ(i2[48 + i], i1[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ms

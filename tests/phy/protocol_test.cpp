@@ -1,0 +1,43 @@
+#include "phy/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace ms {
+namespace {
+
+TEST(Protocol, Names) {
+  EXPECT_EQ(protocol_name(Protocol::WifiB), "802.11b");
+  EXPECT_EQ(protocol_name(Protocol::WifiN), "802.11n");
+  EXPECT_EQ(protocol_name(Protocol::Ble), "BLE");
+  EXPECT_EQ(protocol_name(Protocol::Zigbee), "ZigBee");
+}
+
+TEST(Protocol, IndexRoundTrip) {
+  for (std::size_t i = 0; i < kAllProtocols.size(); ++i)
+    EXPECT_EQ(protocol_index(kAllProtocols[i]), i);
+}
+
+TEST(Protocol, PaperPreambleDurations) {
+  // §2.2: 144 µs 802.11b long preamble, 8 µs BLE preamble.
+  EXPECT_DOUBLE_EQ(protocol_info(Protocol::WifiB).preamble_duration_s, 144e-6);
+  EXPECT_DOUBLE_EQ(protocol_info(Protocol::Ble).preamble_duration_s, 8e-6);
+}
+
+TEST(Protocol, SymbolDurations) {
+  EXPECT_DOUBLE_EQ(protocol_info(Protocol::WifiN).symbol_duration_s, 4e-6);
+  EXPECT_DOUBLE_EQ(protocol_info(Protocol::Zigbee).symbol_duration_s, 16e-6);
+}
+
+TEST(Protocol, ZigbeeRate) {
+  // 4 bits / 16 µs = 250 kbps.
+  const ProtocolInfo& z = protocol_info(Protocol::Zigbee);
+  EXPECT_DOUBLE_EQ(z.bits_per_symbol / z.symbol_duration_s, 250e3);
+}
+
+TEST(Protocol, ExtendedWindowIs40us) {
+  for (Protocol p : kAllProtocols)
+    EXPECT_DOUBLE_EQ(protocol_info(p).extended_window_s, 40e-6);
+}
+
+}  // namespace
+}  // namespace ms

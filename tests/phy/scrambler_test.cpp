@@ -1,0 +1,67 @@
+#include "phy/scrambler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ms {
+namespace {
+
+TEST(Scrambler11b, RoundTripWithMatchingSeed) {
+  Rng rng(1);
+  const Bits data = rng.bits(500);
+  EXPECT_EQ(descramble_11b(scramble_11b(data, 0x6c), 0x6c), data);
+}
+
+TEST(Scrambler11b, SelfSynchronizes) {
+  // Descrambling with the WRONG seed recovers everything after the first
+  // 7 bits — the property the frame demodulator relies on.
+  Rng rng(2);
+  const Bits data = rng.bits(200);
+  const Bits descrambled = descramble_11b(scramble_11b(data, 0x6c), 0x13);
+  for (std::size_t i = 7; i < data.size(); ++i)
+    EXPECT_EQ(descrambled[i], data[i]) << i;
+}
+
+TEST(Scrambler11b, WhitensLongRuns) {
+  const Bits ones(256, 1);
+  const Bits scrambled = scramble_11b(ones, 0x6c);
+  std::size_t count1 = 0;
+  for (uint8_t b : scrambled) count1 += b;
+  EXPECT_GT(count1, 90u);
+  EXPECT_LT(count1, 170u);
+}
+
+TEST(Scrambler11n, IsInvolutive) {
+  Rng rng(3);
+  const Bits data = rng.bits(300);
+  EXPECT_EQ(scramble_11n(scramble_11n(data, 0x5d), 0x5d), data);
+}
+
+TEST(Scrambler11n, RejectsZeroSeed) {
+  EXPECT_THROW(scramble_11n(Bits{1, 0}, 0x00), Error);
+}
+
+TEST(Scrambler11n, SequenceHas127Period) {
+  const Bits zeros(254, 0);
+  const Bits s = scramble_11n(zeros, 0x5d);
+  for (std::size_t i = 0; i < 127; ++i) EXPECT_EQ(s[i], s[i + 127]) << i;
+}
+
+TEST(Scrambler11n, KnownSequencePrefix) {
+  // With the all-ones seed the 802.11 scrambling sequence starts
+  // 0000 1110 1111 0010 ... (IEEE 802.11-2016 §17.3.5.5 example).
+  const Bits zeros(16, 0);
+  const Bits s = scramble_11n(zeros, 0x7f);
+  const Bits expect = bits_from_string("0000111011110010");
+  EXPECT_EQ(s, expect);
+}
+
+TEST(Scrambler11b, DifferentSeedsDifferentStreams) {
+  const Bits zeros(64, 0);
+  EXPECT_NE(scramble_11b(zeros, 0x6c), scramble_11b(zeros, 0x1b));
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "common/rng.h"
+#include "phy/dsss/wifi_b.h"
+
+namespace ms {
+namespace {
+
+WifiBConfig short_cfg(WifiBRate rate = WifiBRate::Dbpsk1M) {
+  WifiBConfig cfg;
+  cfg.rate = rate;
+  cfg.short_preamble = true;
+  return cfg;
+}
+
+TEST(ShortPreamble, DurationIs72usPlusHeader) {
+  // Footnote 1: the short preamble is 72 µs; the header then runs at
+  // 2 Mbps (24 µs) → 96 µs total vs 192 µs for the long format.
+  const WifiBPhy phy(short_cfg());
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(phy.preamble_header_samples()) / phy.sample_rate_hz(),
+      96e-6);
+}
+
+TEST(ShortPreamble, HalvesTheOverhead) {
+  const WifiBPhy long_phy{WifiBConfig{}};
+  const WifiBPhy short_phy(short_cfg());
+  EXPECT_EQ(short_phy.preamble_header_samples() * 2,
+            long_phy.preamble_header_samples());
+}
+
+class ShortPreambleLoopback : public ::testing::TestWithParam<WifiBRate> {};
+
+TEST_P(ShortPreambleLoopback, FrameRoundTrip) {
+  const WifiBPhy phy(short_cfg(GetParam()));
+  Rng rng(1 + static_cast<int>(GetParam()));
+  const Bytes payload = rng.bytes(50);
+  const auto rx = phy.demodulate_frame(phy.modulate_frame(payload));
+  ASSERT_TRUE(rx.header_ok);
+  EXPECT_EQ(rx.rate, GetParam());
+  EXPECT_EQ(rx.payload, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, ShortPreambleLoopback,
+                         ::testing::Values(WifiBRate::Dbpsk1M,
+                                           WifiBRate::Dqpsk2M,
+                                           WifiBRate::Cck5_5M,
+                                           WifiBRate::Cck11M));
+
+TEST(ShortPreamble, SurvivesNoise) {
+  const WifiBPhy phy(short_cfg(WifiBRate::Cck5_5M));
+  Rng rng(7);
+  const Bytes payload = rng.bytes(40);
+  const Iq noisy = add_awgn(phy.modulate_frame(payload), 14.0, rng);
+  const auto rx = phy.demodulate_frame(noisy);
+  ASSERT_TRUE(rx.header_ok);
+  EXPECT_LT(bit_error_rate(bytes_to_bits_lsb(payload),
+                           bytes_to_bits_lsb(rx.payload)),
+            0.01);
+}
+
+TEST(ShortPreamble, WaveformDiffersFromLong) {
+  // Scrambled zeros vs scrambled ones → entirely different sync fields.
+  const WifiBPhy long_phy{WifiBConfig{}};
+  const WifiBPhy short_phy(short_cfg());
+  const Iq a = long_phy.preamble_waveform();
+  const Iq b = short_phy.preamble_waveform();
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(ShortPreamble, LongDemodulatorRejectsShortFrame) {
+  // A receiver configured for long preambles must not false-accept a
+  // short-preamble frame (the header CRC catches the mismatch).
+  const WifiBPhy short_phy(short_cfg());
+  const WifiBPhy long_phy{WifiBConfig{}};
+  Rng rng(9);
+  const Iq frame = short_phy.modulate_frame(rng.bytes(30));
+  EXPECT_FALSE(long_phy.demodulate_frame(frame).header_ok);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,43 @@
+#include "phy/whitening.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ms {
+namespace {
+
+TEST(Whitening, IsInvolutive) {
+  Rng rng(1);
+  const Bits data = rng.bits(320);
+  for (unsigned ch : {0u, 12u, 37u, 39u})
+    EXPECT_EQ(ble_whiten(ble_whiten(data, ch), ch), data) << ch;
+}
+
+TEST(Whitening, DifferentChannelsDiffer) {
+  const Bits zeros(64, 0);
+  EXPECT_NE(ble_whiten(zeros, 37), ble_whiten(zeros, 38));
+}
+
+TEST(Whitening, RejectsBadChannel) {
+  EXPECT_THROW(ble_whiten(Bits{1}, 40), Error);
+}
+
+TEST(Whitening, WhitensConstantInput) {
+  const Bits ones(127, 1);
+  const Bits w = ble_whiten(ones, 37);
+  std::size_t count = 0;
+  for (uint8_t b : w) count += b;
+  EXPECT_GT(count, 40u);
+  EXPECT_LT(count, 90u);
+}
+
+TEST(Whitening, SequenceHas127Period) {
+  const Bits zeros(254, 0);
+  const Bits w = ble_whiten(zeros, 23);
+  for (std::size_t i = 0; i < 127; ++i) EXPECT_EQ(w[i], w[i + 127]) << i;
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,108 @@
+// Property sweeps over the analog models: rectifier monotonicity and
+// stability, ADC code monotonicity, harvester scaling laws.
+#include <gtest/gtest.h>
+
+#include "analog/adc.h"
+#include "analog/energy.h"
+#include "analog/rectifier.h"
+#include "common/rng.h"
+
+namespace ms {
+namespace {
+
+class RectifierConfigs : public ::testing::TestWithParam<int> {
+ protected:
+  RectifierConfig config() const {
+    switch (GetParam()) {
+      case 0: return basic_rectifier();
+      case 1: return multiscatter_rectifier();
+      default: return wisp_rectifier();
+    }
+  }
+};
+
+TEST_P(RectifierConfigs, OutputBoundedByDrive) {
+  // The capacitor can never exceed the maximum possible drive voltage.
+  const Rectifier rect(config());
+  Rng rng(1);
+  Samples in(3000);
+  for (auto& v : in) v = static_cast<float>(std::abs(rng.normal(0.4, 0.2)));
+  float max_in = 0.0f;
+  for (float v : in) max_in = std::max(max_in, v);
+  const double max_drive = config().has_clamp ? 2.0 * max_in : max_in;
+  for (float v : rect.run(in, 50e6)) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, max_drive);
+  }
+}
+
+TEST_P(RectifierConfigs, SteadyStateMonotoneInInput) {
+  const Rectifier rect(config());
+  double prev = -1.0;
+  for (double vin = 0.1; vin <= 1.2; vin += 0.1) {
+    const Samples in(3000, static_cast<float>(vin));
+    const double out = rect.run(in, 50e6).back();
+    EXPECT_GE(out, prev - 1e-6) << vin;
+    prev = out;
+  }
+}
+
+TEST_P(RectifierConfigs, StableAcrossSampleRates) {
+  const Rectifier rect(config());
+  const Samples in(200, 0.6f);
+  for (double fs : {1e6, 10e6, 100e6, 1e9}) {
+    for (float v : rect.run(in, fs)) {
+      EXPECT_TRUE(std::isfinite(v)) << fs;
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 2.0f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRectifiers, RectifierConfigs,
+                         ::testing::Values(0, 1, 2));
+
+TEST(AdcProperty, CodesMonotoneInVoltage) {
+  AdcConfig cfg;
+  const Adc adc(cfg);
+  Samples ramp(512);
+  for (std::size_t i = 0; i < ramp.size(); ++i)
+    ramp[i] = static_cast<float>(i) / 512.0f;
+  const auto codes = adc.capture_codes(ramp, cfg.sample_rate_hz);
+  for (std::size_t i = 1; i < codes.size(); ++i)
+    EXPECT_GE(codes[i], codes[i - 1]);
+}
+
+TEST(AdcProperty, MoreBitsLessError) {
+  Rng rng(2);
+  Samples in(1000);
+  for (auto& v : in) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  auto rms_err = [&](unsigned bits) {
+    AdcConfig cfg;
+    cfg.bits = bits;
+    const Adc adc(cfg);
+    const Samples out = adc.capture(in, cfg.sample_rate_hz);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < in.size(); ++i)
+      acc += (out[i] - in[i]) * (out[i] - in[i]);
+    return std::sqrt(acc / in.size());
+  };
+  EXPECT_LT(rms_err(9), rms_err(4));
+  EXPECT_LT(rms_err(12), rms_err(9));
+}
+
+TEST(HarvesterProperty, ExchangeTimeScalesInverselyWithRate) {
+  const double load = 0.2795;
+  const double t70 = avg_exchange_time_s(70.0, load, 500.0);
+  const double t700 = avg_exchange_time_s(700.0, load, 500.0);
+  EXPECT_NEAR(t70 / t700, 10.0, 0.01);
+}
+
+TEST(HarvesterProperty, BiggerWindowMoreEnergy) {
+  HarvesterConfig small, big;
+  big.v_start = 4.5;
+  EXPECT_GT(energy_per_cycle_j(big), energy_per_cycle_j(small));
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,52 @@
+#include "sim/excitation.h"
+
+#include <gtest/gtest.h>
+
+namespace ms {
+namespace {
+
+TEST(Excitation, Table4Rates) {
+  EXPECT_DOUBLE_EQ(table4_excitation(Protocol::WifiN).pkt_rate_hz, 2000.0);
+  EXPECT_DOUBLE_EQ(table4_excitation(Protocol::WifiB).pkt_rate_hz, 2000.0);
+  EXPECT_DOUBLE_EQ(table4_excitation(Protocol::Ble).pkt_rate_hz, 70.0);
+  EXPECT_DOUBLE_EQ(table4_excitation(Protocol::Zigbee).pkt_rate_hz, 20.0);
+}
+
+TEST(Excitation, Fig16Setups) {
+  EXPECT_EQ(fig16_wifi_n().payload_bytes, 300u);
+  EXPECT_DOUBLE_EQ(fig16_wifi_n().pkt_rate_hz, 2000.0);
+  EXPECT_DOUBLE_EQ(fig16_ble().pkt_rate_hz, 34.0);
+  EXPECT_EQ(fig16_ble().payload_bytes, 37u);
+  EXPECT_DOUBLE_EQ(fig16_zigbee().pkt_rate_hz, 20.0);
+}
+
+TEST(Excitation, Fig12DutiesAreSane) {
+  // BLE/11b near-saturated, 11n light, ZigBee moderate — the calibration
+  // described in EXPERIMENTS.md.
+  EXPECT_GT(fig12_excitation(Protocol::Ble).airtime_duty(), 0.9);
+  EXPECT_GT(fig12_excitation(Protocol::WifiB).airtime_duty(), 0.7);
+  EXPECT_LT(fig12_excitation(Protocol::WifiN).airtime_duty(), 0.15);
+  const double z = fig12_excitation(Protocol::Zigbee).airtime_duty();
+  EXPECT_GT(z, 0.1);
+  EXPECT_LT(z, 0.6);
+}
+
+TEST(Excitation, DutyNeverExceedsOne) {
+  ExcitationSpec e;
+  e.protocol = Protocol::Zigbee;
+  e.pkt_rate_hz = 1e6;
+  e.payload_bytes = 125;
+  EXPECT_DOUBLE_EQ(e.airtime_duty(), 1.0);
+}
+
+TEST(Excitation, PayloadSymbols) {
+  ExcitationSpec e;
+  e.protocol = Protocol::Zigbee;  // 4 bits/symbol
+  e.payload_bytes = 100;
+  EXPECT_EQ(e.payload_symbols(), 200u);
+  e.protocol = Protocol::WifiN;  // 26 bits/symbol
+  EXPECT_EQ(e.payload_symbols(), 31u);  // ceil(800/26)
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,51 @@
+#include "sim/occlusion_experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace ms {
+namespace {
+
+TEST(Occlusion, Fig9aBaselineBerExplodesWithWalls) {
+  // Fig 9a: 0.2% with no occlusion → ~59% behind concrete.
+  OcclusionScenario sc;
+  const auto ber = baseline_occlusion_ber(hitchhike_config(), sc);
+  EXPECT_LT(ber[0], 0.01);   // none
+  EXPECT_GT(ber[1], 0.05);   // wood
+  EXPECT_GT(ber[2], 0.25);   // concrete
+  EXPECT_LT(ber[0], ber[1]);
+  EXPECT_LT(ber[1], ber[2]);
+}
+
+TEST(Occlusion, FreeriderSuffersToo) {
+  OcclusionScenario sc;
+  const auto ber = baseline_occlusion_ber(freerider_config(), sc);
+  EXPECT_GT(ber[2], 10.0 * ber[0]);
+}
+
+TEST(Occlusion, Fig15MultiscatterBeatsBaselines) {
+  // Fig 15: multiscatter 136 (BLE) / 121 (11b) kbps vs 94 (Hitchhike) /
+  // 33 (FreeRider) kbps with a drywalled original channel.
+  OcclusionScenario sc;
+  const auto rows = occlusion_throughput(sc);
+  const double ms_ble = rows[0].tag_kbps;
+  const double ms_11b = rows[1].tag_kbps;
+  const double hitchhike = rows[2].tag_kbps;
+  const double freerider = rows[3].tag_kbps;
+  EXPECT_GT(ms_ble, hitchhike);
+  EXPECT_GT(ms_11b, hitchhike);
+  EXPECT_GT(hitchhike, freerider);
+  // Magnitudes within a loose band of the paper's numbers.
+  EXPECT_NEAR(ms_ble, 136.0, 50.0);
+  EXPECT_NEAR(freerider, 33.0, 30.0);
+}
+
+TEST(Occlusion, OriginalSnrDropsByWallLoss) {
+  OcclusionScenario sc;
+  const double none = sc.original_snr_db(WallMaterial::None, Protocol::WifiB);
+  const double concrete =
+      sc.original_snr_db(WallMaterial::Concrete, Protocol::WifiB);
+  EXPECT_NEAR(none - concrete, wall_loss_db(WallMaterial::Concrete), 1e-9);
+}
+
+}  // namespace
+}  // namespace ms

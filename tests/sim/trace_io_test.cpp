@@ -1,0 +1,104 @@
+#include "sim/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ms {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const char* name) {
+    return std::string(::testing::TempDir()) + "/" + name;
+  }
+};
+
+TEST_F(TraceIoTest, IqRoundTrip) {
+  Rng rng(1);
+  Iq x(500);
+  for (Cf& v : x)
+    v = Cf(static_cast<float>(rng.normal()), static_cast<float>(rng.normal()));
+  const std::string path = temp_path("iq.mstr");
+  save_trace(path, x, 8e6);
+  double rate = 0.0;
+  const Iq y = load_iq_trace(path, &rate);
+  EXPECT_EQ(y, x);
+  EXPECT_DOUBLE_EQ(rate, 8e6);
+}
+
+TEST_F(TraceIoTest, RealRoundTrip) {
+  Rng rng(2);
+  Samples x(300);
+  for (float& v : x) v = static_cast<float>(rng.normal());
+  const std::string path = temp_path("real.mstr");
+  save_trace(path, x, 2.5e6);
+  double rate = 0.0;
+  EXPECT_EQ(load_real_trace(path, &rate), x);
+  EXPECT_DOUBLE_EQ(rate, 2.5e6);
+}
+
+TEST_F(TraceIoTest, HeaderInspection) {
+  const std::string path = temp_path("hdr.mstr");
+  save_trace(path, Samples(42, 1.0f), 1e6);
+  const TraceHeader h = read_trace_header(path);
+  EXPECT_FALSE(h.complex_iq);
+  EXPECT_EQ(h.n_samples, 42u);
+  EXPECT_DOUBLE_EQ(h.sample_rate_hz, 1e6);
+}
+
+TEST_F(TraceIoTest, TypeMismatchThrows) {
+  const std::string path = temp_path("mismatch.mstr");
+  save_trace(path, Samples(10, 0.5f), 1e6);
+  EXPECT_THROW(load_iq_trace(path), Error);
+  save_trace(path, Iq(10, Cf(1, 0)), 1e6);
+  EXPECT_THROW(load_real_trace(path), Error);
+}
+
+TEST_F(TraceIoTest, CorruptMagicRejected) {
+  const std::string path = temp_path("corrupt.mstr");
+  std::ofstream(path) << "this is not a trace file at all, not even close";
+  EXPECT_THROW(read_trace_header(path), Error);
+}
+
+TEST_F(TraceIoTest, TruncatedPayloadRejected) {
+  const std::string path = temp_path("trunc.mstr");
+  save_trace(path, Samples(100, 1.0f), 1e6);
+  // Chop the file short.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 40);
+  std::ofstream(path, std::ios::binary)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  EXPECT_THROW(load_real_trace(path), Error);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_iq_trace(temp_path("does_not_exist.mstr")), Error);
+}
+
+TEST_F(TraceIoTest, CsvWritesColumns) {
+  const std::string path = temp_path("out.csv");
+  const std::vector<CsvColumn> cols = {{"d_m", {1, 2, 3}},
+                                       {"rssi", {-60.5, -70.25}}};
+  save_csv(path, cols);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "d_m,rssi");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,-60.5");
+  std::getline(f, line);
+  EXPECT_EQ(line, "2,-70.25");
+  std::getline(f, line);
+  EXPECT_EQ(line, "3,");  // ragged column padded with empty cell
+}
+
+}  // namespace
+}  // namespace ms
