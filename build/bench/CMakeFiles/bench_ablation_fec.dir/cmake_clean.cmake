@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fec.dir/bench_ablation_fec.cpp.o"
+  "CMakeFiles/bench_ablation_fec.dir/bench_ablation_fec.cpp.o.d"
+  "bench_ablation_fec"
+  "bench_ablation_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_nlos.dir/bench_fig14_nlos.cpp.o"
+  "CMakeFiles/bench_fig14_nlos.dir/bench_fig14_nlos.cpp.o.d"
+  "bench_fig14_nlos"
+  "bench_fig14_nlos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_nlos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

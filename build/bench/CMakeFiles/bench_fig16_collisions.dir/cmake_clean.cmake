@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_collisions.dir/bench_fig16_collisions.cpp.o"
+  "CMakeFiles/bench_fig16_collisions.dir/bench_fig16_collisions.cpp.o.d"
+  "bench_fig16_collisions"
+  "bench_fig16_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_refmod.dir/bench_fig17_refmod.cpp.o"
+  "CMakeFiles/bench_fig17_refmod.dir/bench_fig17_refmod.cpp.o.d"
+  "bench_fig17_refmod"
+  "bench_fig17_refmod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_refmod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_rectifier.dir/bench_fig4_rectifier.cpp.o"
+  "CMakeFiles/bench_fig4_rectifier.dir/bench_fig4_rectifier.cpp.o.d"
+  "bench_fig4_rectifier"
+  "bench_fig4_rectifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rectifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

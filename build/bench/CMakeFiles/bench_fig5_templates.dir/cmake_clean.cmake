@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_templates.dir/bench_fig5_templates.cpp.o"
+  "CMakeFiles/bench_fig5_templates.dir/bench_fig5_templates.cpp.o.d"
+  "bench_fig5_templates"
+  "bench_fig5_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

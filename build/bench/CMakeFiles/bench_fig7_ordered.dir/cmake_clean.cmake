@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ordered.dir/bench_fig7_ordered.cpp.o"
+  "CMakeFiles/bench_fig7_ordered.dir/bench_fig7_ordered.cpp.o.d"
+  "bench_fig7_ordered"
+  "bench_fig7_ordered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_lowrate.dir/bench_fig8_lowrate.cpp.o"
+  "CMakeFiles/bench_fig8_lowrate.dir/bench_fig8_lowrate.cpp.o.d"
+  "bench_fig8_lowrate"
+  "bench_fig8_lowrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_lowrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mcs_rates.dir/bench_mcs_rates.cpp.o"
+  "CMakeFiles/bench_mcs_rates.dir/bench_mcs_rates.cpp.o.d"
+  "bench_mcs_rates"
+  "bench_mcs_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mcs_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

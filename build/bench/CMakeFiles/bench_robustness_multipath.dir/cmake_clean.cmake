@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robustness_multipath.dir/bench_robustness_multipath.cpp.o"
+  "CMakeFiles/bench_robustness_multipath.dir/bench_robustness_multipath.cpp.o.d"
+  "bench_robustness_multipath"
+  "bench_robustness_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

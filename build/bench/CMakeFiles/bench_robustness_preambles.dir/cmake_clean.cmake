@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robustness_preambles.dir/bench_robustness_preambles.cpp.o"
+  "CMakeFiles/bench_robustness_preambles.dir/bench_robustness_preambles.cpp.o.d"
+  "bench_robustness_preambles"
+  "bench_robustness_preambles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness_preambles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

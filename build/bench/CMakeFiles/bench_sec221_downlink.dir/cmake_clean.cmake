@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec221_downlink.dir/bench_sec221_downlink.cpp.o"
+  "CMakeFiles/bench_sec221_downlink.dir/bench_sec221_downlink.cpp.o.d"
+  "bench_sec221_downlink"
+  "bench_sec221_downlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec221_downlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

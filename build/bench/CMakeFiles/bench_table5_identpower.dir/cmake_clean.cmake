@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_identpower.dir/bench_table5_identpower.cpp.o"
+  "CMakeFiles/bench_table5_identpower.dir/bench_table5_identpower.cpp.o.d"
+  "bench_table5_identpower"
+  "bench_table5_identpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_identpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

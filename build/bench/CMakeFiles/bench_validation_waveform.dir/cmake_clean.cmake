@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_waveform.dir/bench_validation_waveform.cpp.o"
+  "CMakeFiles/bench_validation_waveform.dir/bench_validation_waveform.cpp.o.d"
+  "bench_validation_waveform"
+  "bench_validation_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_waterfalls.dir/bench_waterfalls.cpp.o"
+  "CMakeFiles/bench_waterfalls.dir/bench_waterfalls.cpp.o.d"
+  "bench_waterfalls"
+  "bench_waterfalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_waterfalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

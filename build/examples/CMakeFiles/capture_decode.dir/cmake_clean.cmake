@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_decode.dir/capture_decode.cpp.o"
+  "CMakeFiles/capture_decode.dir/capture_decode.cpp.o.d"
+  "capture_decode"
+  "capture_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tag_demo.dir/multi_tag_demo.cpp.o"
+  "CMakeFiles/multi_tag_demo.dir/multi_tag_demo.cpp.o.d"
+  "multi_tag_demo"
+  "multi_tag_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tag_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprotocol_sniffer.dir/multiprotocol_sniffer.cpp.o"
+  "CMakeFiles/multiprotocol_sniffer.dir/multiprotocol_sniffer.cpp.o.d"
+  "multiprotocol_sniffer"
+  "multiprotocol_sniffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprotocol_sniffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multiprotocol_sniffer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_bracelet.dir/smart_bracelet.cpp.o"
+  "CMakeFiles/smart_bracelet.dir/smart_bracelet.cpp.o.d"
+  "smart_bracelet"
+  "smart_bracelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_bracelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/streaming_monitor.cpp" "examples/CMakeFiles/streaming_monitor.dir/streaming_monitor.cpp.o" "gcc" "examples/CMakeFiles/streaming_monitor.dir/streaming_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ms_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ms_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/ms_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ms_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/adc.cpp" "src/analog/CMakeFiles/ms_analog.dir/adc.cpp.o" "gcc" "src/analog/CMakeFiles/ms_analog.dir/adc.cpp.o.d"
+  "/root/repo/src/analog/energy.cpp" "src/analog/CMakeFiles/ms_analog.dir/energy.cpp.o" "gcc" "src/analog/CMakeFiles/ms_analog.dir/energy.cpp.o.d"
+  "/root/repo/src/analog/power.cpp" "src/analog/CMakeFiles/ms_analog.dir/power.cpp.o" "gcc" "src/analog/CMakeFiles/ms_analog.dir/power.cpp.o.d"
+  "/root/repo/src/analog/rectifier.cpp" "src/analog/CMakeFiles/ms_analog.dir/rectifier.cpp.o" "gcc" "src/analog/CMakeFiles/ms_analog.dir/rectifier.cpp.o.d"
+  "/root/repo/src/analog/wakeup.cpp" "src/analog/CMakeFiles/ms_analog.dir/wakeup.cpp.o" "gcc" "src/analog/CMakeFiles/ms_analog.dir/wakeup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ms_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

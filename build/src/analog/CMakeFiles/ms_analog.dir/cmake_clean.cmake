@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_analog.dir/adc.cpp.o"
+  "CMakeFiles/ms_analog.dir/adc.cpp.o.d"
+  "CMakeFiles/ms_analog.dir/energy.cpp.o"
+  "CMakeFiles/ms_analog.dir/energy.cpp.o.d"
+  "CMakeFiles/ms_analog.dir/power.cpp.o"
+  "CMakeFiles/ms_analog.dir/power.cpp.o.d"
+  "CMakeFiles/ms_analog.dir/rectifier.cpp.o"
+  "CMakeFiles/ms_analog.dir/rectifier.cpp.o.d"
+  "CMakeFiles/ms_analog.dir/wakeup.cpp.o"
+  "CMakeFiles/ms_analog.dir/wakeup.cpp.o.d"
+  "libms_analog.a"
+  "libms_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/analog/CMakeFiles/ms_analog.dir/power.cpp.o: \
+ /root/repo/src/analog/power.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/analog/power.h

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_channel.dir/awgn.cpp.o"
+  "CMakeFiles/ms_channel.dir/awgn.cpp.o.d"
+  "CMakeFiles/ms_channel.dir/ber.cpp.o"
+  "CMakeFiles/ms_channel.dir/ber.cpp.o.d"
+  "CMakeFiles/ms_channel.dir/link.cpp.o"
+  "CMakeFiles/ms_channel.dir/link.cpp.o.d"
+  "CMakeFiles/ms_channel.dir/multipath.cpp.o"
+  "CMakeFiles/ms_channel.dir/multipath.cpp.o.d"
+  "CMakeFiles/ms_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/ms_channel.dir/pathloss.cpp.o.d"
+  "libms_channel.a"
+  "libms_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

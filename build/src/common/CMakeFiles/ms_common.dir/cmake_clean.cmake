@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_common.dir/bits.cpp.o"
+  "CMakeFiles/ms_common.dir/bits.cpp.o.d"
+  "CMakeFiles/ms_common.dir/rng.cpp.o"
+  "CMakeFiles/ms_common.dir/rng.cpp.o.d"
+  "libms_common.a"
+  "libms_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline/baseline.cpp" "src/core/CMakeFiles/ms_core.dir/baseline/baseline.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/baseline/baseline.cpp.o.d"
+  "/root/repo/src/core/ident/frontend.cpp" "src/core/CMakeFiles/ms_core.dir/ident/frontend.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/ident/frontend.cpp.o.d"
+  "/root/repo/src/core/ident/identifier.cpp" "src/core/CMakeFiles/ms_core.dir/ident/identifier.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/ident/identifier.cpp.o.d"
+  "/root/repo/src/core/ident/onebit_correlator.cpp" "src/core/CMakeFiles/ms_core.dir/ident/onebit_correlator.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/ident/onebit_correlator.cpp.o.d"
+  "/root/repo/src/core/ident/resources.cpp" "src/core/CMakeFiles/ms_core.dir/ident/resources.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/ident/resources.cpp.o.d"
+  "/root/repo/src/core/ident/streaming.cpp" "src/core/CMakeFiles/ms_core.dir/ident/streaming.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/ident/streaming.cpp.o.d"
+  "/root/repo/src/core/ident/templates.cpp" "src/core/CMakeFiles/ms_core.dir/ident/templates.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/ident/templates.cpp.o.d"
+  "/root/repo/src/core/overlay/ble_overlay.cpp" "src/core/CMakeFiles/ms_core.dir/overlay/ble_overlay.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/overlay/ble_overlay.cpp.o.d"
+  "/root/repo/src/core/overlay/fec.cpp" "src/core/CMakeFiles/ms_core.dir/overlay/fec.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/overlay/fec.cpp.o.d"
+  "/root/repo/src/core/overlay/frame.cpp" "src/core/CMakeFiles/ms_core.dir/overlay/frame.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/overlay/frame.cpp.o.d"
+  "/root/repo/src/core/overlay/freq_shift.cpp" "src/core/CMakeFiles/ms_core.dir/overlay/freq_shift.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/overlay/freq_shift.cpp.o.d"
+  "/root/repo/src/core/overlay/multi_tag.cpp" "src/core/CMakeFiles/ms_core.dir/overlay/multi_tag.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/overlay/multi_tag.cpp.o.d"
+  "/root/repo/src/core/overlay/overlay.cpp" "src/core/CMakeFiles/ms_core.dir/overlay/overlay.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/overlay/overlay.cpp.o.d"
+  "/root/repo/src/core/overlay/receiver.cpp" "src/core/CMakeFiles/ms_core.dir/overlay/receiver.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/overlay/receiver.cpp.o.d"
+  "/root/repo/src/core/overlay/throughput.cpp" "src/core/CMakeFiles/ms_core.dir/overlay/throughput.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/overlay/throughput.cpp.o.d"
+  "/root/repo/src/core/overlay/wifi_b_overlay.cpp" "src/core/CMakeFiles/ms_core.dir/overlay/wifi_b_overlay.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/overlay/wifi_b_overlay.cpp.o.d"
+  "/root/repo/src/core/overlay/wifi_n_overlay.cpp" "src/core/CMakeFiles/ms_core.dir/overlay/wifi_n_overlay.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/overlay/wifi_n_overlay.cpp.o.d"
+  "/root/repo/src/core/overlay/zigbee_overlay.cpp" "src/core/CMakeFiles/ms_core.dir/overlay/zigbee_overlay.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/overlay/zigbee_overlay.cpp.o.d"
+  "/root/repo/src/core/tag/channel_sense.cpp" "src/core/CMakeFiles/ms_core.dir/tag/channel_sense.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/tag/channel_sense.cpp.o.d"
+  "/root/repo/src/core/tag/controller.cpp" "src/core/CMakeFiles/ms_core.dir/tag/controller.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/tag/controller.cpp.o.d"
+  "/root/repo/src/core/tag/tag_device.cpp" "src/core/CMakeFiles/ms_core.dir/tag/tag_device.cpp.o" "gcc" "src/core/CMakeFiles/ms_core.dir/tag/tag_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ms_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/ms_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ms_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/ms_analog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_dsp.dir/correlate.cpp.o"
+  "CMakeFiles/ms_dsp.dir/correlate.cpp.o.d"
+  "CMakeFiles/ms_dsp.dir/fft.cpp.o"
+  "CMakeFiles/ms_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/ms_dsp.dir/fir.cpp.o"
+  "CMakeFiles/ms_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/ms_dsp.dir/mixer.cpp.o"
+  "CMakeFiles/ms_dsp.dir/mixer.cpp.o.d"
+  "CMakeFiles/ms_dsp.dir/ops.cpp.o"
+  "CMakeFiles/ms_dsp.dir/ops.cpp.o.d"
+  "CMakeFiles/ms_dsp.dir/resample.cpp.o"
+  "CMakeFiles/ms_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/ms_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/ms_dsp.dir/spectrum.cpp.o.d"
+  "libms_dsp.a"
+  "libms_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/ble/ble.cpp" "src/phy/CMakeFiles/ms_phy.dir/ble/ble.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/ble/ble.cpp.o.d"
+  "/root/repo/src/phy/constellation.cpp" "src/phy/CMakeFiles/ms_phy.dir/constellation.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/constellation.cpp.o.d"
+  "/root/repo/src/phy/convolutional.cpp" "src/phy/CMakeFiles/ms_phy.dir/convolutional.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/convolutional.cpp.o.d"
+  "/root/repo/src/phy/crc.cpp" "src/phy/CMakeFiles/ms_phy.dir/crc.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/crc.cpp.o.d"
+  "/root/repo/src/phy/dsss/barker.cpp" "src/phy/CMakeFiles/ms_phy.dir/dsss/barker.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/dsss/barker.cpp.o.d"
+  "/root/repo/src/phy/dsss/cck.cpp" "src/phy/CMakeFiles/ms_phy.dir/dsss/cck.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/dsss/cck.cpp.o.d"
+  "/root/repo/src/phy/dsss/wifi_b.cpp" "src/phy/CMakeFiles/ms_phy.dir/dsss/wifi_b.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/dsss/wifi_b.cpp.o.d"
+  "/root/repo/src/phy/interleaver.cpp" "src/phy/CMakeFiles/ms_phy.dir/interleaver.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/interleaver.cpp.o.d"
+  "/root/repo/src/phy/ofdm/mcs.cpp" "src/phy/CMakeFiles/ms_phy.dir/ofdm/mcs.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/ofdm/mcs.cpp.o.d"
+  "/root/repo/src/phy/ofdm/subcarriers.cpp" "src/phy/CMakeFiles/ms_phy.dir/ofdm/subcarriers.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/ofdm/subcarriers.cpp.o.d"
+  "/root/repo/src/phy/ofdm/sync.cpp" "src/phy/CMakeFiles/ms_phy.dir/ofdm/sync.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/ofdm/sync.cpp.o.d"
+  "/root/repo/src/phy/ofdm/wifi_n.cpp" "src/phy/CMakeFiles/ms_phy.dir/ofdm/wifi_n.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/ofdm/wifi_n.cpp.o.d"
+  "/root/repo/src/phy/protocol.cpp" "src/phy/CMakeFiles/ms_phy.dir/protocol.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/protocol.cpp.o.d"
+  "/root/repo/src/phy/scrambler.cpp" "src/phy/CMakeFiles/ms_phy.dir/scrambler.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/scrambler.cpp.o.d"
+  "/root/repo/src/phy/whitening.cpp" "src/phy/CMakeFiles/ms_phy.dir/whitening.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/whitening.cpp.o.d"
+  "/root/repo/src/phy/zigbee/zigbee.cpp" "src/phy/CMakeFiles/ms_phy.dir/zigbee/zigbee.cpp.o" "gcc" "src/phy/CMakeFiles/ms_phy.dir/zigbee/zigbee.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ms_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_sim.dir/collision_experiment.cpp.o"
+  "CMakeFiles/ms_sim.dir/collision_experiment.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/diversity_experiment.cpp.o"
+  "CMakeFiles/ms_sim.dir/diversity_experiment.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/excitation.cpp.o"
+  "CMakeFiles/ms_sim.dir/excitation.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/ident_experiment.cpp.o"
+  "CMakeFiles/ms_sim.dir/ident_experiment.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/occlusion_experiment.cpp.o"
+  "CMakeFiles/ms_sim.dir/occlusion_experiment.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/range_experiment.cpp.o"
+  "CMakeFiles/ms_sim.dir/range_experiment.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/ms_sim.dir/trace_io.cpp.o.d"
+  "libms_sim.a"
+  "libms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

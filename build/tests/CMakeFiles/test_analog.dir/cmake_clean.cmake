@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analog.dir/analog/adc_test.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/adc_test.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/energy_test.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/energy_test.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/power_test.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/power_test.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/rectifier_test.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/rectifier_test.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/wakeup_test.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/wakeup_test.cpp.o.d"
+  "test_analog"
+  "test_analog.pdb"
+  "test_analog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

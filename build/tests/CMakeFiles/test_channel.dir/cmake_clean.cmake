@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel.dir/channel/awgn_test.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/awgn_test.cpp.o.d"
+  "CMakeFiles/test_channel.dir/channel/ber_test.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/ber_test.cpp.o.d"
+  "CMakeFiles/test_channel.dir/channel/link_test.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/link_test.cpp.o.d"
+  "CMakeFiles/test_channel.dir/channel/multipath_test.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/multipath_test.cpp.o.d"
+  "CMakeFiles/test_channel.dir/channel/pathloss_test.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/pathloss_test.cpp.o.d"
+  "test_channel"
+  "test_channel.pdb"
+  "test_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/dsp/correlate_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/correlate_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/fft_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/fft_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/fir_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/fir_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/mixer_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/mixer_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/ops_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/ops_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/resample_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/resample_test.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/spectrum_test.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/spectrum_test.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

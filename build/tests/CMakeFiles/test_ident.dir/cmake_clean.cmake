@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ident.dir/core/identifier_test.cpp.o"
+  "CMakeFiles/test_ident.dir/core/identifier_test.cpp.o.d"
+  "CMakeFiles/test_ident.dir/core/onebit_correlator_test.cpp.o"
+  "CMakeFiles/test_ident.dir/core/onebit_correlator_test.cpp.o.d"
+  "CMakeFiles/test_ident.dir/core/resources_test.cpp.o"
+  "CMakeFiles/test_ident.dir/core/resources_test.cpp.o.d"
+  "CMakeFiles/test_ident.dir/core/streaming_test.cpp.o"
+  "CMakeFiles/test_ident.dir/core/streaming_test.cpp.o.d"
+  "CMakeFiles/test_ident.dir/core/templates_test.cpp.o"
+  "CMakeFiles/test_ident.dir/core/templates_test.cpp.o.d"
+  "test_ident"
+  "test_ident.pdb"
+  "test_ident[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay.dir/core/fec_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/core/fec_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/core/frame_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/core/frame_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/core/freq_shift_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/core/freq_shift_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/core/multi_tag_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/core/multi_tag_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/core/overlay_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/core/overlay_test.cpp.o.d"
+  "CMakeFiles/test_overlay.dir/core/receiver_test.cpp.o"
+  "CMakeFiles/test_overlay.dir/core/receiver_test.cpp.o.d"
+  "test_overlay"
+  "test_overlay.pdb"
+  "test_overlay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy.dir/phy/constellation_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/constellation_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/convolutional_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/convolutional_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/crc_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/crc_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/interleaver_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/interleaver_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/protocol_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/protocol_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/scrambler_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/scrambler_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/whitening_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/whitening_test.cpp.o.d"
+  "test_phy"
+  "test_phy.pdb"
+  "test_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

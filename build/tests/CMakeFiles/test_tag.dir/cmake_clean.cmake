@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag.dir/core/baseline_test.cpp.o"
+  "CMakeFiles/test_tag.dir/core/baseline_test.cpp.o.d"
+  "CMakeFiles/test_tag.dir/core/channel_sense_test.cpp.o"
+  "CMakeFiles/test_tag.dir/core/channel_sense_test.cpp.o.d"
+  "CMakeFiles/test_tag.dir/core/controller_test.cpp.o"
+  "CMakeFiles/test_tag.dir/core/controller_test.cpp.o.d"
+  "CMakeFiles/test_tag.dir/core/tag_device_test.cpp.o"
+  "CMakeFiles/test_tag.dir/core/tag_device_test.cpp.o.d"
+  "test_tag"
+  "test_tag.pdb"
+  "test_tag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

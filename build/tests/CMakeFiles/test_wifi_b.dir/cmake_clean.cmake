@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wifi_b.dir/phy/short_preamble_test.cpp.o"
+  "CMakeFiles/test_wifi_b.dir/phy/short_preamble_test.cpp.o.d"
+  "CMakeFiles/test_wifi_b.dir/phy/wifi_b_test.cpp.o"
+  "CMakeFiles/test_wifi_b.dir/phy/wifi_b_test.cpp.o.d"
+  "test_wifi_b"
+  "test_wifi_b.pdb"
+  "test_wifi_b[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wifi_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wifi_n.dir/phy/mcs_test.cpp.o"
+  "CMakeFiles/test_wifi_n.dir/phy/mcs_test.cpp.o.d"
+  "CMakeFiles/test_wifi_n.dir/phy/sync_test.cpp.o"
+  "CMakeFiles/test_wifi_n.dir/phy/sync_test.cpp.o.d"
+  "CMakeFiles/test_wifi_n.dir/phy/wifi_n_test.cpp.o"
+  "CMakeFiles/test_wifi_n.dir/phy/wifi_n_test.cpp.o.d"
+  "test_wifi_n"
+  "test_wifi_n.pdb"
+  "test_wifi_n[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wifi_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zigbee.dir/phy/zigbee_test.cpp.o"
+  "CMakeFiles/test_zigbee.dir/phy/zigbee_test.cpp.o.d"
+  "test_zigbee"
+  "test_zigbee.pdb"
+  "test_zigbee[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zigbee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp[1]_include.cmake")
+include("/root/repo/build/tests/test_phy[1]_include.cmake")
+include("/root/repo/build/tests/test_wifi_b[1]_include.cmake")
+include("/root/repo/build/tests/test_wifi_n[1]_include.cmake")
+include("/root/repo/build/tests/test_ble[1]_include.cmake")
+include("/root/repo/build/tests/test_zigbee[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_analog[1]_include.cmake")
+include("/root/repo/build/tests/test_ident[1]_include.cmake")
+include("/root/repo/build/tests/test_overlay[1]_include.cmake")
+include("/root/repo/build/tests/test_tag[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
