@@ -1,0 +1,194 @@
+// Robustness: fault-injection sweeps for the resilient tag link layer.
+//
+// Three studies, all seeded and fully reproducible (same seed → same
+// numbers → same CSV):
+//   1. goodput vs i.i.d. frame-corruption probability — stop-and-wait
+//      ARQ + adaptive (γ, FEC) vs ARQ with fixed protection vs the
+//      seed's blind send-once path;
+//   2. goodput / recovery vs Gilbert–Elliott bad-state entry rate (deep
+//      fades, occlusions) — where NACK-driven adaptation pays off;
+//   3. identification accuracy vs excitation/ADC fault intensity (CFO,
+//      burst interferers, dropouts, truncated sample streams).
+// Pass an output directory as argv[1] to additionally dump each sweep
+// as CSV.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/tag/link_session.h"
+#include "sim/ident_experiment.h"
+#include "sim/trace_io.h"
+
+using namespace ms;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2020;
+constexpr std::size_t kReadings = 160;
+constexpr std::size_t kMaxSlots = 4000;
+
+LinkSessionConfig session_base() {
+  LinkSessionConfig cfg;
+  cfg.link_quality.p_good_to_bad = 0.0;  // study 1 isolates frame faults
+  return cfg;
+}
+
+LinkSessionReport run_variant(LinkSessionConfig cfg, bool arq, bool adapt) {
+  cfg.arq_enabled = arq;
+  cfg.adaptation_enabled = arq && adapt;
+  Rng rng(kSeed);
+  LinkSession session(cfg);
+  return session.run(kReadings, kMaxSlots, rng);
+}
+
+struct SweepRow {
+  double x = 0.0;
+  LinkSessionReport adaptive, fixed, blind;
+};
+
+void print_rows(const char* xname, const std::vector<SweepRow>& rows) {
+  std::printf("  %-12s %26s %26s %20s\n", "", "ARQ + adaptive", "ARQ fixed",
+              "no ARQ (seed)");
+  std::printf("  %-12s %9s %8s %7s %9s %8s %7s %9s %10s\n", xname, "goodput",
+              "dlvr", "recov", "goodput", "dlvr", "recov", "goodput", "dlvr");
+  bench::rule();
+  for (const SweepRow& r : rows)
+    std::printf("  %-12.3f %9.2f %8.3f %7.3f %9.2f %8.3f %7.3f %9.2f %10.3f\n",
+                r.x, r.adaptive.goodput_bits_per_slot(),
+                r.adaptive.reading_delivery_rate(), r.adaptive.recovery_rate(),
+                r.fixed.goodput_bits_per_slot(),
+                r.fixed.reading_delivery_rate(), r.fixed.recovery_rate(),
+                r.blind.goodput_bits_per_slot(),
+                r.blind.reading_delivery_rate());
+}
+
+void dump_rows(const char* dir, const char* file, const char* xname,
+               const std::vector<SweepRow>& rows) {
+  CsvColumn x{xname, {}}, ga{"goodput_arq_adaptive", {}},
+      da{"delivery_arq_adaptive", {}}, ra{"recovery_arq_adaptive", {}},
+      gamma{"mean_gamma_adaptive", {}}, reps{"mean_fec_repeats_adaptive", {}},
+      gf{"goodput_arq_fixed", {}}, df{"delivery_arq_fixed", {}},
+      gb{"goodput_no_arq", {}}, db{"delivery_no_arq", {}};
+  for (const SweepRow& r : rows) {
+    x.values.push_back(r.x);
+    ga.values.push_back(r.adaptive.goodput_bits_per_slot());
+    da.values.push_back(r.adaptive.reading_delivery_rate());
+    ra.values.push_back(r.adaptive.recovery_rate());
+    gamma.values.push_back(r.adaptive.mean_gamma);
+    reps.values.push_back(r.adaptive.mean_fec_repeats);
+    gf.values.push_back(r.fixed.goodput_bits_per_slot());
+    df.values.push_back(r.fixed.reading_delivery_rate());
+    gb.values.push_back(r.blind.goodput_bits_per_slot());
+    db.values.push_back(r.blind.reading_delivery_rate());
+  }
+  const std::vector<CsvColumn> cols = {x,  ga, da, ra, gamma,
+                                       reps, gf, df, gb, db};
+  save_csv(std::string(dir) + "/" + file, cols);
+}
+
+double ident_accuracy(const FaultConfig& faults) {
+  IdentTrialConfig cfg;
+  cfg.ident.templates.adc_rate_hz = 10e6;
+  cfg.ident.templates.preprocess_len = 20;
+  cfg.ident.templates.match_len = 60;
+  cfg.ident.compute = ComputeMode::OneBit;
+  cfg.faults = faults;
+  cfg.seed = kSeed;
+  return run_ident_experiment(cfg, 40).average_accuracy();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::title("Robustness: faults",
+               "link-layer goodput and identification under injected faults");
+
+  // --- 1. i.i.d. frame corruption ------------------------------------
+  std::printf("\n  -- goodput vs frame-corruption probability"
+              " (bits/slot) --\n");
+  std::vector<SweepRow> corrupt_rows;
+  for (double p : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    LinkSessionConfig cfg = session_base();
+    cfg.frame_corrupt_prob = p;
+    corrupt_rows.push_back({p, run_variant(cfg, true, true),
+                            run_variant(cfg, true, false),
+                            run_variant(cfg, false, false)});
+  }
+  print_rows("P(corrupt)", corrupt_rows);
+  const double clean = corrupt_rows[0].adaptive.goodput_bits_per_slot();
+  const double at10 = corrupt_rows[2].adaptive.goodput_bits_per_slot();
+  std::printf("  ARQ+adaptive goodput at 10%% corruption: %.1f%% of"
+              " fault-free\n", 100.0 * at10 / clean);
+
+  // --- 2. Gilbert–Elliott link-quality jumps --------------------------
+  std::printf("\n  -- goodput vs bad-state entry probability (12 dB"
+              " fade) --\n");
+  std::vector<SweepRow> fade_rows;
+  for (double p : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    LinkSessionConfig cfg = session_base();
+    cfg.link_quality.p_good_to_bad = p;
+    fade_rows.push_back({p, run_variant(cfg, true, true),
+                         run_variant(cfg, true, false),
+                         run_variant(cfg, false, false)});
+  }
+  print_rows("P(g->b)", fade_rows);
+
+  // --- 2b. persistent fades: where the (γ, FEC) ladder pays off --------
+  std::printf("\n  -- goodput vs tag-link SNR (parked interferer /"
+              " occlusion) --\n");
+  std::vector<SweepRow> snr_rows;
+  for (double snr : {4.0, 0.0, -4.0, -8.0, -12.0}) {
+    LinkSessionConfig cfg = session_base();
+    cfg.base_snr_db = snr;
+    snr_rows.push_back({snr, run_variant(cfg, true, true),
+                        run_variant(cfg, true, false),
+                        run_variant(cfg, false, false)});
+  }
+  print_rows("SNR (dB)", snr_rows);
+
+  // --- 3. identification under excitation/ADC faults ------------------
+  std::printf("\n  -- identification accuracy vs fault intensity --\n");
+  std::printf("  %-12s %10s %10s %10s %10s\n", "intensity", "clean", "cfo",
+              "burst", "adc-trunc");
+  bench::rule();
+  CsvColumn ix{"intensity", {}}, ic{"acc_clean", {}}, io{"acc_cfo", {}},
+      ib{"acc_burst", {}}, it{"acc_adc_truncate", {}};
+  const double base = ident_accuracy(FaultConfig{});
+  for (double intensity : {0.25, 0.5, 1.0}) {
+    FaultConfig cfo;
+    cfo.cfo_max_hz = intensity * 200e3;
+    FaultConfig burst;
+    burst.burst_prob = intensity;
+    burst.burst_power_ratio = 4.0;
+    burst.burst_fraction = 0.2;
+    FaultConfig trunc;
+    trunc.adc_truncate_prob = intensity;
+    const double ac = ident_accuracy(cfo), ab = ident_accuracy(burst),
+                 at = ident_accuracy(trunc);
+    std::printf("  %-12.2f %10.3f %10.3f %10.3f %10.3f\n", intensity, base,
+                ac, ab, at);
+    ix.values.push_back(intensity);
+    ic.values.push_back(base);
+    io.values.push_back(ac);
+    ib.values.push_back(ab);
+    it.values.push_back(at);
+  }
+
+  if (argc > 1) {
+    dump_rows(argv[1], "faults_frame_corruption.csv", "frame_corrupt_prob",
+              corrupt_rows);
+    dump_rows(argv[1], "faults_link_quality.csv", "p_good_to_bad", fade_rows);
+    dump_rows(argv[1], "faults_base_snr.csv", "base_snr_db", snr_rows);
+    const std::vector<CsvColumn> ident_cols = {ix, ic, io, ib, it};
+    save_csv(std::string(argv[1]) + "/faults_identification.csv", ident_cols);
+  }
+
+  bench::rule();
+  bench::note("stop-and-wait ARQ holds goodput near the fault-free line"
+              " through 10% frame corruption while the blind seed path"
+              " loses whole readings to single-frame holes; under deep"
+              " fades the NACK-driven (gamma, FEC) step-up keeps frames"
+              " decodable where fixed protection stalls in retries");
+  return 0;
+}

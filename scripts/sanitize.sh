@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build the repo with ASan+UBSan and run the tier-1 test suite under the
+# sanitizers.  Any leak, overflow, or UB aborts the run (-fno-sanitize-
+# recover=all), so a green ctest here means a clean report.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DMS_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${build_dir}" -j"$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+ctest --test-dir "${build_dir}" --output-on-failure "$@"

@@ -1,0 +1,66 @@
+#include "channel/impairments.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "channel/awgn.h"
+#include "common/error.h"
+#include "dsp/ops.h"
+#include "dsp/resample.h"
+
+namespace ms {
+
+Iq apply_cfo(std::span<const Cf> x, double offset_hz, double sample_rate_hz) {
+  MS_CHECK(sample_rate_hz > 0.0);
+  Iq out(x.begin(), x.end());
+  const double step = 2.0 * std::numbers::pi * offset_hz / sample_rate_hz;
+  // Incremental rotation: one complex multiply per sample, with the
+  // phasor re-normalized periodically so float error cannot accumulate.
+  Cf rot(1.0f, 0.0f);
+  const Cf inc(static_cast<float>(std::cos(step)),
+               static_cast<float>(std::sin(step)));
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    out[n] *= rot;
+    rot *= inc;
+    if ((n & 0x3ff) == 0x3ff) rot /= std::abs(rot);
+  }
+  return out;
+}
+
+Iq apply_clock_drift(std::span<const Cf> x, double ppm) {
+  MS_CHECK_MSG(std::abs(ppm) < 1e5, "clock drift beyond ±10% is not drift");
+  // A clock running (1 + ppm·1e-6) fast emits the same waveform over a
+  // shorter wall-clock span: resample by the inverse ratio.
+  return resample_linear(x, 1.0 / (1.0 + ppm * 1e-6));
+}
+
+void apply_dropout(Iq& x, std::size_t start, std::size_t length) {
+  if (start >= x.size()) return;
+  const std::size_t end = std::min(x.size(), start + length);
+  for (std::size_t i = start; i < end; ++i) x[i] = Cf(0.0f, 0.0f);
+}
+
+double LinkQualityProcess::step(Rng& rng) {
+  if (bad_) {
+    if (rng.chance(cfg_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng.chance(cfg_.p_good_to_bad)) bad_ = true;
+  }
+  if (bad_) return -cfg_.bad_snr_penalty_db;
+  return cfg_.good_snr_jitter_db > 0.0
+             ? rng.normal(0.0, cfg_.good_snr_jitter_db)
+             : 0.0;
+}
+
+void add_burst_interference(Iq& x, std::size_t start, std::size_t length,
+                            double power_ratio, Rng& rng) {
+  MS_CHECK(power_ratio >= 0.0);
+  if (start >= x.size() || power_ratio == 0.0) return;
+  const std::size_t end = std::min(x.size(), start + length);
+  const double p = mean_power(std::span<const Cf>(x));
+  if (p <= 0.0) return;
+  const Iq burst = complex_noise(end - start, power_ratio * p, rng);
+  for (std::size_t i = start; i < end; ++i) x[i] += burst[i - start];
+}
+
+}  // namespace ms

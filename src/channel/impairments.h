@@ -1,0 +1,66 @@
+// Deterministic RF impairments on excitation waveforms.
+//
+// Real excitation sources are not the simulator's ideal transmitters:
+// their oscillators sit a few kHz off the nominal carrier (CFO), their
+// sampling clocks drift by tens of ppm, co-channel bursts stomp on the
+// air mid-packet, and a source can brown out and drop part of a packet.
+// These helpers apply each impairment to a complex-baseband waveform;
+// sim/faults/fault_injector.h composes them into seeded fault scenarios.
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "dsp/iq.h"
+
+namespace ms {
+
+/// Rotate the waveform by a carrier frequency offset: x[n] · e^{j2πfn/Fs}.
+Iq apply_cfo(std::span<const Cf> x, double offset_hz, double sample_rate_hz);
+
+/// Sampling-clock drift of `ppm` parts per million: the transmitter's
+/// clock runs fast (ppm > 0) or slow (ppm < 0) relative to nominal, so
+/// the waveform is stretched/compressed by linear-interpolation
+/// resampling.  |ppm| must be below 10⁵ (a 10% error is no longer
+/// "drift").
+Iq apply_clock_drift(std::span<const Cf> x, double ppm);
+
+/// Zero `length` samples starting at `start` (excitation dropout /
+/// brown-out mid-packet).  The span is clipped to the waveform.
+void apply_dropout(Iq& x, std::size_t start, std::size_t length);
+
+/// Add a complex-noise burst interferer over [start, start+length),
+/// `power_ratio` times the waveform's mean power (clipped to the
+/// waveform; no-op on silence).
+void add_burst_interference(Iq& x, std::size_t start, std::size_t length,
+                            double power_ratio, Rng& rng);
+
+/// Two-state Gilbert–Elliott link-quality process: the link spends most
+/// slots in a good state and occasionally jumps into a bad state (deep
+/// fade, occlusion, an interferer parking on the channel) where the SNR
+/// drops by `bad_snr_penalty_db`.  This is the per-slot link-quality
+/// model consumed by the tag link layer and the fault injector.
+struct LinkQualityConfig {
+  double p_good_to_bad = 0.0;       ///< per-slot entry probability
+  double p_bad_to_good = 0.3;       ///< per-slot exit probability
+  double bad_snr_penalty_db = 12.0;
+  double good_snr_jitter_db = 0.0;  ///< zero-mean Gaussian jitter when good
+};
+
+class LinkQualityProcess {
+ public:
+  explicit LinkQualityProcess(LinkQualityConfig cfg) : cfg_(cfg) {}
+
+  /// Advance one slot; returns the SNR offset (dB, ≤ 0 in the bad
+  /// state) to add to the nominal link budget.
+  double step(Rng& rng);
+
+  bool bad() const { return bad_; }
+  const LinkQualityConfig& config() const { return cfg_; }
+
+ private:
+  LinkQualityConfig cfg_;
+  bool bad_ = false;
+};
+
+}  // namespace ms

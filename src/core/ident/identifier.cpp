@@ -59,20 +59,47 @@ std::array<double, 4> ProtocolIdentifier::scores(
 
 std::optional<Protocol> ProtocolIdentifier::identify(
     std::span<const float> adc_trace) const {
-  if (peak_abs(adc_trace) < cfg_.min_trigger_v) return std::nullopt;
-  const std::size_t onset = detect_onset(adc_trace);
+  return classify(adc_trace).protocol;
+}
+
+IdentDecision ProtocolIdentifier::classify(
+    std::span<const float> adc_trace) const {
+  IdentDecision d;
+  if (peak_abs(adc_trace) < cfg_.min_trigger_v) return d;
+  d.scores = scores(adc_trace);
+
   if (cfg_.decision == DecisionMode::Ordered) {
     for (Protocol p : cfg_.order) {
       const std::size_t idx = protocol_index(p);
-      if (score_one(adc_trace, onset, idx) > cfg_.thresholds[idx]) return p;
+      const double margin = d.scores[idx] - cfg_.thresholds[idx];
+      if (margin <= 0.0) continue;
+      // First protocol over its threshold wins — unless it clears the
+      // bar by less than the abstain margin, in which case committing
+      // is a coin flip the tag should not take.
+      d.confidence = margin;
+      if (cfg_.abstain_margin > 0.0 && margin < cfg_.abstain_margin) {
+        d.abstained = true;
+        return d;
+      }
+      d.protocol = p;
+      return d;
     }
-    return std::nullopt;
+    return d;
   }
-  const std::array<double, 4> s = scores(adc_trace);
-  const std::size_t best = static_cast<std::size_t>(
-      std::distance(s.begin(), std::max_element(s.begin(), s.end())));
-  if (s[best] < cfg_.blind_min_score) return std::nullopt;
-  return kAllProtocols[best];
+
+  const std::size_t best = static_cast<std::size_t>(std::distance(
+      d.scores.begin(), std::max_element(d.scores.begin(), d.scores.end())));
+  double second = -1.0;
+  for (std::size_t i = 0; i < d.scores.size(); ++i)
+    if (i != best) second = std::max(second, d.scores[i]);
+  d.confidence = d.scores[best] - second;
+  if (d.scores[best] < cfg_.blind_min_score) return d;
+  if (cfg_.abstain_margin > 0.0 && d.confidence < cfg_.abstain_margin) {
+    d.abstained = true;
+    return d;
+  }
+  d.protocol = kAllProtocols[best];
+  return d;
 }
 
 }  // namespace ms

@@ -45,6 +45,24 @@ struct IdentifierConfig {
   std::array<double, 4> thresholds = {0.55, 0.55, 0.50, 0.45};
   std::array<Protocol, 4> order = {Protocol::Zigbee, Protocol::Ble,
                                    Protocol::WifiB, Protocol::WifiN};
+  /// Abstain-and-recover: when the decision margin (best-vs-runner-up
+  /// score in blind mode, score-over-threshold in ordered mode) falls
+  /// below this, the identifier withholds the verdict instead of
+  /// committing to a likely-wrong template.  0 disables abstention
+  /// (the seed behaviour).
+  double abstain_margin = 0.0;
+  /// How quickly a StreamingIdentifier re-arms after an abstained
+  /// window, so the tag can sense again instead of sitting out the full
+  /// post-classification holdoff.
+  double abstain_rearm_s = 8e-6;
+};
+
+/// Outcome of one classification, with enough context to act on doubt.
+struct IdentDecision {
+  std::optional<Protocol> protocol;  ///< empty on no-match or abstain
+  std::array<double, 4> scores{};
+  double confidence = 0.0;  ///< decision margin the abstain test used
+  bool abstained = false;   ///< packet present but verdict withheld
 };
 
 class ProtocolIdentifier {
@@ -56,7 +74,12 @@ class ProtocolIdentifier {
   std::array<double, 4> scores(std::span<const float> adc_trace) const;
 
   /// Identify the excitation in the trace; nullopt when nothing matches.
+  /// Equivalent to classify().protocol.
   std::optional<Protocol> identify(std::span<const float> adc_trace) const;
+
+  /// Full decision including scores, the decision margin, and whether
+  /// the identifier abstained (cfg.abstain_margin > 0 only).
+  IdentDecision classify(std::span<const float> adc_trace) const;
 
   const IdentifierConfig& config() const { return cfg_; }
   const TemplateSet& templates() const { return templates_; }

@@ -60,15 +60,21 @@ std::optional<IdentEvent> StreamingIdentifier::push(float sample) {
       if (window_.size() < window_len()) return std::nullopt;
       // Window full: classify it.
       const Samples trace(window_.begin(), window_.end());
+      const IdentDecision d = identifier_.classify(trace);
       IdentEvent ev;
       ev.trigger_sample = trigger_pos_;
-      ev.scores = identifier_.scores(trace);
-      ev.protocol = identifier_.identify(trace);
+      ev.scores = d.scores;
+      ev.protocol = d.protocol;
+      ev.confidence = d.confidence;
+      ev.abstained = d.abstained;
       // Hold off: first a minimum of one packet-detection window (the
       // rest of the same preamble must not re-trigger), then wait for a
-      // run of quiet samples (carrier release).
+      // run of quiet samples (carrier release).  An abstained window
+      // re-arms much sooner — the whole point of withholding the verdict
+      // is to sense again instead of sleeping through the next chance.
+      const double holdoff_s = d.abstained ? cfg_.abstain_rearm_s : 40e-6;
       min_holdoff_remaining_ = static_cast<std::size_t>(
-          40e-6 * cfg_.templates.adc_rate_hz);
+          holdoff_s * cfg_.templates.adc_rate_hz);
       holdoff_remaining_ = kQuietRunSamples;
       state_ = State::Holdoff;
       window_.clear();

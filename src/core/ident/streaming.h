@@ -18,6 +18,11 @@ struct IdentEvent {
   std::size_t trigger_sample = 0;  ///< sample index of the energy edge
   std::optional<Protocol> protocol;
   std::array<double, 4> scores{};
+  double confidence = 0.0;  ///< decision margin (see IdentDecision)
+  /// The window triggered but the verdict was withheld (low margin);
+  /// the detector re-arms after cfg.abstain_rearm_s instead of the full
+  /// post-classification holdoff, so the tag senses again quickly.
+  bool abstained = false;
 };
 
 class StreamingIdentifier {

@@ -1,0 +1,75 @@
+#include "core/tag/adaptation.h"
+
+#include "common/error.h"
+
+namespace ms {
+
+AdaptivePolicy::AdaptivePolicy(AdaptationConfig cfg) : cfg_(std::move(cfg)) {
+  MS_CHECK_MSG(!cfg_.ladder.empty(), "adaptation ladder must not be empty");
+  MS_CHECK(cfg_.initial_level < cfg_.ladder.size());
+  MS_CHECK(cfg_.ewma_alpha > 0.0 && cfg_.ewma_alpha <= 1.0);
+  MS_CHECK(cfg_.down_threshold <= cfg_.up_threshold);
+  MS_CHECK(cfg_.improve_factor > 0.0 && cfg_.improve_factor <= 1.0);
+  for (const ProtectionLevel& l : cfg_.ladder)
+    MS_CHECK_MSG(l.gamma >= 1 && l.fec_repeats >= 1,
+                 "protection level fields must be >= 1");
+  level_ = cfg_.initial_level;
+}
+
+void AdaptivePolicy::switch_to(std::size_t level) {
+  level_ = level;
+  ++switches_;
+  dwell_ = cfg_.dwell_min_frames;
+}
+
+void AdaptivePolicy::on_frame_result(bool delivered) {
+  nack_ewma_ = (1.0 - cfg_.ewma_alpha) * nack_ewma_ +
+               cfg_.ewma_alpha * (delivered ? 0.0 : 1.0);
+  if (cooldown_ > 0) --cooldown_;
+  if (dwell_ > 0) {
+    --dwell_;
+    return;
+  }
+
+  if (probing_) {
+    // Judge the probe against the rate that triggered it.
+    if (nack_ewma_ <= cfg_.improve_factor * probe_baseline_) {
+      // The extra protection is earning its keep.  Hold the level for a
+      // cooldown too: the rate will now fall below down_threshold, and
+      // stepping straight back into the level that was drowning would
+      // oscillate.
+      probing_ = false;
+      cooldown_ = cfg_.cooldown_frames;
+    } else if (nack_ewma_ > cfg_.up_threshold &&
+               level_ + 1 < cfg_.ladder.size()) {
+      switch_to(level_ + 1);  // still drowning: keep climbing the probe
+    } else {
+      // The losses are not SNR-shaped; give the capacity back and stop
+      // poking at the ladder for a while.
+      switch_to(probe_base_);
+      probing_ = false;
+      cooldown_ = cfg_.cooldown_frames;
+    }
+    return;
+  }
+
+  if (nack_ewma_ > cfg_.up_threshold && cooldown_ == 0) {
+    if (level_ + 1 < cfg_.ladder.size()) {
+      probing_ = true;
+      probe_base_ = level_;
+      probe_baseline_ = nack_ewma_;
+      switch_to(level_ + 1);
+    } else if (level_ > 0) {
+      // Drowning at the strongest level with nowhere left to climb: the
+      // losses are not SNR-shaped, so give the capacity back instead of
+      // camping on the most expensive rung.
+      switch_to(0);
+      cooldown_ = cfg_.cooldown_frames;
+    }
+  } else if (nack_ewma_ < cfg_.down_threshold && cooldown_ == 0 &&
+             level_ > 0) {
+    switch_to(level_ - 1);
+  }
+}
+
+}  // namespace ms

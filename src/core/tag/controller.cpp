@@ -37,9 +37,24 @@ TagController::StepResult TagController::step(
   }
   if (usable.empty()) return r;
 
-  // The identifier occasionally mislabels the excitation; a mislabeled
-  // packet gets the wrong modulation scheme and is lost.
-  if (!rng.chance(cfg_.ident_accuracy)) return r;
+  // The identifier occasionally fails on a present excitation.  A miss
+  // either commits to the wrong template (the slot is spent modulating
+  // garbage) or abstains — in which case the fast re-arm lets the tag
+  // sense again up to abstain_retries times before giving up the slot.
+  for (unsigned attempt = 0;; ++attempt) {
+    if (rng.chance(cfg_.ident_accuracy)) break;
+    // At the default wrong_commit_fraction == 1.0 this draws exactly the
+    // same Rng stream as the seed model (one draw per miss).
+    if (cfg_.wrong_commit_fraction >= 1.0 ||
+        rng.chance(cfg_.wrong_commit_fraction)) {
+      ++wrong_commits_;
+      r.wrong_commit = true;
+      return r;
+    }
+    ++abstains_;
+    r.abstained = true;
+    if (attempt >= cfg_.abstain_retries) return r;
+  }
 
   // Mode parameters depend on the chosen carrier's protocol.
   std::optional<std::size_t> pick;

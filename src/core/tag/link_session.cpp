@@ -1,0 +1,212 @@
+#include "core/tag/link_session.h"
+
+#include <algorithm>
+
+#include "channel/link.h"
+#include "common/error.h"
+#include "core/overlay/fec.h"
+
+namespace ms {
+
+LinkSession::LinkSession(LinkSessionConfig cfg)
+    : cfg_(std::move(cfg)),
+      overlay_(mode_params(cfg_.protocol, cfg_.mode)) {
+  MS_CHECK(cfg_.sequences_per_slot >= 1);
+  MS_CHECK(cfg_.reading_bytes >= 1);
+  MS_CHECK(cfg_.burst_fraction > 0.0 && cfg_.burst_fraction <= 1.0);
+  // Every protection level must fit at least a 1-byte frame in a slot.
+  if (cfg_.arq_enabled && cfg_.adaptation_enabled)
+    for (const ProtectionLevel& l : cfg_.adapt.ladder) frame_payload_budget(l);
+  frame_payload_budget(cfg_.fixed);
+}
+
+std::size_t LinkSession::slot_capacity_bits(unsigned gamma) const {
+  MS_CHECK(gamma >= 1);
+  const std::size_t per_seq = (overlay_.kappa - 1) / gamma;
+  MS_CHECK_MSG(per_seq >= 1,
+               "spreading factor too large for the overlay's kappa");
+  return cfg_.sequences_per_slot * per_seq;
+}
+
+std::size_t LinkSession::frame_payload_budget(
+    const ProtectionLevel& level) const {
+  MS_CHECK(level.fec_repeats >= 1);
+  const std::size_t usable =
+      slot_capacity_bits(level.gamma) / level.fec_repeats;
+  const TagFec fec{cfg_.interleave_rows};
+  for (std::size_t p = TagFrame::kMaxPayload; p >= 1; --p) {
+    const std::size_t raw = TagFrame::frame_bits(p);
+    const std::size_t coded = cfg_.fec_enabled ? fec.coded_size(raw) : raw;
+    if (coded <= usable) return p;
+  }
+  throw Error("slot capacity below one framed payload byte at protection "
+              "level gamma=" + std::to_string(level.gamma) +
+              " repeats=" + std::to_string(level.fec_repeats));
+}
+
+Bits LinkSession::encode_frame(const TagFrame& frame,
+                               const ProtectionLevel& level) const {
+  Bits bits = frame.to_bits();
+  if (cfg_.fec_enabled) bits = TagFec{cfg_.interleave_rows}.encode(bits);
+  if (level.fec_repeats > 1) bits = repeat_bits(bits, level.fec_repeats);
+  return bits;
+}
+
+std::optional<TagFrame> LinkSession::decode_frame(
+    std::span<const uint8_t> coded, const ProtectionLevel& level) const {
+  Bits bits(coded.begin(), coded.end());
+  if (level.fec_repeats > 1) bits = majority_vote(bits, level.fec_repeats);
+  if (cfg_.fec_enabled) {
+    // The receiver knows only the coded length; decode every whole
+    // Hamming block and let the frame parser skip the trailing padding.
+    const std::size_t data_bits = bits.size() / 7 * 4;
+    bits = TagFec{cfg_.interleave_rows}.decode(bits, data_bits);
+  }
+  return TagFrame::from_bits(bits);
+}
+
+namespace {
+
+/// Synthesize the envelope the tag's clear-channel assessment sees:
+/// quiet air sits well below the sensing threshold, a busy channel well
+/// above it.
+Samples sense_envelope(bool busy, const ChannelSenseConfig& sense, Rng& rng) {
+  Samples env(32);
+  const float level = busy ? static_cast<float>(4.0 * sense.threshold_v)
+                           : static_cast<float>(0.2 * sense.threshold_v);
+  for (float& v : env)
+    v = level * (0.8f + 0.4f * static_cast<float>(rng.uniform()));
+  return env;
+}
+
+}  // namespace
+
+LinkSessionReport LinkSession::run(std::size_t n_readings,
+                                   std::size_t max_slots, Rng& rng) {
+  LinkSessionReport rep;
+  ArqSender sender(cfg_.arq);
+  ArqReceiver arq_rx;
+  std::deque<TagFrame> blind_queue;  // non-ARQ: fire-and-forget
+  FrameAssembler assembler;
+  AdaptivePolicy policy(cfg_.adapt);
+  LinkQualityProcess quality(cfg_.link_quality);
+  const ChannelSensor sensor(cfg_.sense);
+
+  ProtectionLevel level = cfg_.fixed;
+  bool head_failed = false;  // current ARQ head frame failed at least once
+  std::size_t transmissions = 0;
+
+  const auto pending = [&] {
+    return cfg_.arq_enabled ? !sender.idle() : !blind_queue.empty();
+  };
+
+  while (rep.slots < max_slots &&
+         (rep.readings_offered < n_readings || pending())) {
+    ++rep.slots;
+    const double snr_db = cfg_.base_snr_db + quality.step(rng);
+
+    // Readings are (re-)framed at the protection level in force when
+    // they are offered; the level then holds until the reading resolves.
+    if (!pending() && rep.readings_offered < n_readings) {
+      ++rep.readings_offered;
+      const Bytes reading = rng.bytes(cfg_.reading_bytes);
+      level = (cfg_.arq_enabled && cfg_.adaptation_enabled) ? policy.level()
+                                                            : cfg_.fixed;
+      const std::size_t budget = frame_payload_budget(level);
+      if (cfg_.arq_enabled) {
+        sender.load_reading(cfg_.tag_id, reading, budget);
+      } else {
+        for (TagFrame& f : segment_reading(cfg_.tag_id, reading,
+                                           TagFrame::frame_bits(budget)))
+          blind_queue.push_back(std::move(f));
+      }
+    }
+
+    // Clear-channel assessment before backscattering (footnote 6).
+    const bool busy = rng.chance(cfg_.sense_busy_prob);
+    if (sensor.channel_busy(sense_envelope(busy, cfg_.sense, rng))) {
+      ++rep.slots_deferred;
+      continue;
+    }
+
+    std::optional<TagFrame> frame;
+    if (cfg_.arq_enabled) {
+      frame = sender.poll();
+      if (!frame) continue;  // exponential holdoff
+    } else {
+      frame = std::move(blind_queue.front());
+      blind_queue.pop_front();
+    }
+    ++transmissions;
+    rep.mean_gamma += level.gamma;
+    rep.mean_fec_repeats += level.fec_repeats;
+
+    // Through the channel: per-bit flips at the slot's tag BER, plus the
+    // fault injector's i.i.d. burst corruption.
+    Bits coded = encode_frame(*frame, level);
+    const double ber = backscatter_tag_ber(cfg_.protocol, snr_db, level.gamma);
+    for (uint8_t& b : coded)
+      if (rng.chance(ber)) b ^= 1u;
+    if (cfg_.frame_corrupt_prob > 0.0 && rng.chance(cfg_.frame_corrupt_prob)) {
+      const std::size_t len = std::max<std::size_t>(
+          1, static_cast<std::size_t>(cfg_.burst_fraction *
+                                      static_cast<double>(coded.size())));
+      const std::size_t start = rng.uniform_int(coded.size());
+      for (std::size_t i = start; i < std::min(coded.size(), start + len); ++i)
+        coded[i] ^= 1u;
+    }
+    const std::optional<TagFrame> rx = decode_frame(coded, level);
+
+    if (cfg_.arq_enabled) {
+      bool acked = false;
+      if (rx) {
+        const ArqReceiver::Result res = arq_rx.push(*rx);
+        if (res.duplicate) ++rep.duplicates_seen;
+        if (res.reading) {
+          ++rep.readings_delivered;
+          rep.delivered_bytes += static_cast<double>(res.reading->size());
+        }
+        if (res.crc_ok && rng.chance(cfg_.ack_loss_prob)) {
+          ++rep.acks_lost;
+        } else {
+          acked = res.crc_ok;
+        }
+      }
+      if (acked) {
+        if (head_failed) ++rep.frames_recovered;
+        head_failed = false;
+        sender.on_ack();
+      } else {
+        if (!rx && !head_failed) {
+          head_failed = true;
+          ++rep.frames_corrupted;
+        }
+        const std::size_t drops_before = sender.stats().frames_dropped;
+        sender.on_nack();
+        if (sender.stats().frames_dropped != drops_before)
+          head_failed = false;  // gave up on this frame
+      }
+      if (cfg_.adaptation_enabled) policy.on_frame_result(acked);
+    } else {
+      if (rx) {
+        if (std::optional<Bytes> done = assembler.push(*rx)) {
+          ++rep.readings_delivered;
+          rep.delivered_bytes += static_cast<double>(done->size());
+        }
+      } else {
+        ++rep.frames_corrupted;
+      }
+    }
+  }
+
+  rep.sender = sender.stats();
+  if (transmissions > 0) {
+    rep.mean_gamma /= static_cast<double>(transmissions);
+    rep.mean_fec_repeats /= static_cast<double>(transmissions);
+  }
+  rep.level_switches = policy.switches();
+  rep.final_nack_rate = policy.nack_rate();
+  return rep;
+}
+
+}  // namespace ms

@@ -1,0 +1,118 @@
+// Slot-level simulation of the resilient tag link layer.
+//
+// Each slot is one excitation packet's worth of overlay capacity.  The
+// session runs sensor readings through framing (frame.h), Hamming +
+// interleaving + repetition FEC (fec.h), stop-and-wait ARQ (arq.h), and
+// NACK-driven (γ, FEC-repeat) adaptation (adaptation.h) over a channel
+// whose per-slot SNR follows a Gilbert–Elliott quality process
+// (channel/impairments.h) with optional i.i.d. burst corruption — the
+// knob the fault-injection benches sweep.  Clear-channel assessment
+// (channel_sense.h) defers transmission on busy slots.  With ARQ
+// disabled the session reproduces the seed behaviour: frames are sent
+// once, blind, and a reading with a hole is lost.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "channel/impairments.h"
+#include "core/overlay/arq.h"
+#include "core/overlay/overlay.h"
+#include "core/tag/adaptation.h"
+#include "core/tag/channel_sense.h"
+#include "phy/protocol.h"
+
+namespace ms {
+
+struct LinkSessionConfig {
+  Protocol protocol = Protocol::WifiB;
+  OverlayMode mode = OverlayMode::Mode1;
+  /// Modulatable-sequence capacity of one slot (≈ payload symbols / κ of
+  /// the excitation packet; 300 matches a 300-byte 802.11b packet).
+  std::size_t sequences_per_slot = 300;
+  double base_snr_db = 4.0;  ///< tag→receiver SNR in the good state
+
+  bool arq_enabled = true;
+  ArqConfig arq;
+  bool adaptation_enabled = true;
+  AdaptationConfig adapt;
+  /// Protection used when adaptation is off (and by the non-ARQ path).
+  ProtectionLevel fixed{2, 1};
+  bool fec_enabled = true;
+  std::size_t interleave_rows = 7;
+
+  // --- impairments ---
+  LinkQualityConfig link_quality;
+  double frame_corrupt_prob = 0.0;  ///< i.i.d. burst corruption per frame
+  double burst_fraction = 0.25;     ///< corrupted run / coded frame bits
+  double ack_loss_prob = 0.0;       ///< feedback channel imperfection
+  double sense_busy_prob = 0.0;     ///< P(clear-channel assessment busy)
+  ChannelSenseConfig sense;
+
+  std::size_t reading_bytes = 96;  ///< sensor reading size
+  uint8_t tag_id = 1;
+};
+
+struct LinkSessionReport {
+  std::size_t slots = 0;
+  std::size_t slots_deferred = 0;  ///< channel sensed busy
+  std::size_t readings_offered = 0;
+  std::size_t readings_delivered = 0;
+  std::size_t frames_corrupted = 0;  ///< frames that failed CRC ≥ once
+  std::size_t frames_recovered = 0;  ///< …and were eventually delivered
+  std::size_t acks_lost = 0;
+  std::size_t duplicates_seen = 0;
+  ArqSender::Stats sender;
+  double delivered_bytes = 0.0;
+  double mean_gamma = 0.0;          ///< transmission-weighted
+  double mean_fec_repeats = 0.0;
+  std::size_t level_switches = 0;
+  double final_nack_rate = 0.0;
+
+  double goodput_bits_per_slot() const {
+    return slots == 0 ? 0.0 : delivered_bytes * 8.0 / static_cast<double>(slots);
+  }
+  double reading_delivery_rate() const {
+    return readings_offered == 0
+               ? 0.0
+               : static_cast<double>(readings_delivered) /
+                     static_cast<double>(readings_offered);
+  }
+  /// Fraction of corrupted frames the ARQ loop eventually delivered.
+  double recovery_rate() const {
+    return frames_corrupted == 0
+               ? 1.0
+               : static_cast<double>(frames_recovered) /
+                     static_cast<double>(frames_corrupted);
+  }
+};
+
+class LinkSession {
+ public:
+  explicit LinkSession(LinkSessionConfig cfg);
+
+  /// Offer `n_readings` random sensor readings and run slots until all
+  /// are resolved (delivered or abandoned) or `max_slots` elapse.
+  LinkSessionReport run(std::size_t n_readings, std::size_t max_slots,
+                        Rng& rng);
+
+  /// Largest frame payload (bytes) whose FEC-coded, repeated frame fits
+  /// one slot at the given protection level.  Throws ms::Error when even
+  /// a 1-byte payload does not fit.
+  std::size_t frame_payload_budget(const ProtectionLevel& level) const;
+
+  /// Tag-bit capacity of one slot at spreading factor γ.
+  std::size_t slot_capacity_bits(unsigned gamma) const;
+
+  const LinkSessionConfig& config() const { return cfg_; }
+
+ private:
+  Bits encode_frame(const TagFrame& frame, const ProtectionLevel& level) const;
+  std::optional<TagFrame> decode_frame(std::span<const uint8_t> coded,
+                                       const ProtectionLevel& level) const;
+
+  LinkSessionConfig cfg_;
+  OverlayParams overlay_;
+};
+
+}  // namespace ms

@@ -34,6 +34,17 @@ CollisionResult run_collision(const CollisionSetup& setup,
   r.b_solo = overlay_throughput_at(fig12_excitation(setup.b.protocol), pb,
                                    link, distance_m);
 
+  // Excitation dropouts steal airtime from both flows before any
+  // collision accounting (no excitation on the air, no tag data).
+  if (setup.excitation_dropout_fraction > 0.0) {
+    const double keep =
+        std::max(0.0, 1.0 - setup.excitation_dropout_fraction);
+    for (Throughput* t : {&r.a_solo, &r.b_solo}) {
+      t->productive_bps *= keep;
+      t->tag_bps *= keep;
+    }
+  }
+
   if (!setup.time_overlap) {
     // Packets interleave in time; ordered matching identifies each one,
     // so neither flow loses meaningful throughput (Fig 16d).

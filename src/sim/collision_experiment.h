@@ -24,6 +24,10 @@ struct CollisionSetup {
   /// that attenuates the off-channel interferer by this many dB before
   /// it can collide (0 = no filter, the paper's prototype).
   double tag_filter_rejection_db = 0.0;
+  /// Fraction of excitation airtime lost to source dropouts (see
+  /// channel/impairments.h); derates both flows' solo throughput before
+  /// the collision accounting.
+  double excitation_dropout_fraction = 0.0;
 };
 
 struct CollisionResult {

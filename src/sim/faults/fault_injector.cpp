@@ -1,0 +1,71 @@
+#include "sim/faults/fault_injector.h"
+
+#include <algorithm>
+
+#include "channel/impairments.h"
+#include "common/error.h"
+
+namespace ms {
+
+Iq FaultInjector::perturb_excitation(Iq x, double sample_rate_hz, Rng& rng) {
+  if (x.empty()) return x;
+  if (cfg_.cfo_max_hz > 0.0) {
+    const double f = rng.uniform(-cfg_.cfo_max_hz, cfg_.cfo_max_hz);
+    x = apply_cfo(x, f, sample_rate_hz);
+    ++stats_.cfo_applied;
+  }
+  if (cfg_.clock_drift_max_ppm > 0.0) {
+    const double ppm =
+        rng.uniform(-cfg_.clock_drift_max_ppm, cfg_.clock_drift_max_ppm);
+    x = apply_clock_drift(x, ppm);
+    ++stats_.drift_applied;
+  }
+  if (cfg_.dropout_prob > 0.0 && rng.chance(cfg_.dropout_prob)) {
+    const std::size_t len = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg_.dropout_fraction *
+                                    static_cast<double>(x.size())));
+    apply_dropout(x, rng.uniform_int(x.size()), len);
+    ++stats_.dropouts;
+  }
+  if (cfg_.burst_prob > 0.0 && rng.chance(cfg_.burst_prob)) {
+    const std::size_t len = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg_.burst_fraction *
+                                    static_cast<double>(x.size())));
+    add_burst_interference(x, rng.uniform_int(x.size()), len,
+                           cfg_.burst_power_ratio, rng);
+    ++stats_.bursts;
+  }
+  return x;
+}
+
+Samples FaultInjector::perturb_adc(Samples x, Rng& rng) {
+  if (x.empty()) return x;
+  if (cfg_.adc_duplicate_prob > 0.0 && rng.chance(cfg_.adc_duplicate_prob)) {
+    // A run of samples is delivered twice (DMA/FIFO re-read).
+    MS_CHECK(cfg_.adc_duplicate_max_fraction > 0.0 &&
+             cfg_.adc_duplicate_max_fraction <= 1.0);
+    const std::size_t max_len = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg_.adc_duplicate_max_fraction *
+                                    static_cast<double>(x.size())));
+    const std::size_t len = 1 + rng.uniform_int(max_len);
+    const std::size_t start = rng.uniform_int(x.size());
+    const std::size_t end = std::min(x.size(), start + len);
+    x.insert(x.begin() + static_cast<std::ptrdiff_t>(end),
+             x.begin() + static_cast<std::ptrdiff_t>(start),
+             x.begin() + static_cast<std::ptrdiff_t>(end));
+    ++stats_.duplications;
+  }
+  if (cfg_.adc_truncate_prob > 0.0 && rng.chance(cfg_.adc_truncate_prob)) {
+    // The tail of the capture is lost (EN dropped early / buffer cut).
+    MS_CHECK(cfg_.adc_truncate_max_fraction > 0.0 &&
+             cfg_.adc_truncate_max_fraction <= 1.0);
+    const std::size_t max_cut = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg_.adc_truncate_max_fraction *
+                                    static_cast<double>(x.size())));
+    x.resize(x.size() - (1 + rng.uniform_int(max_cut)));
+    ++stats_.truncations;
+  }
+  return x;
+}
+
+}  // namespace ms

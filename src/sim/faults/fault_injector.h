@@ -1,0 +1,81 @@
+// Composable, seeded fault injection for robustness studies.
+//
+// A FaultConfig describes how hostile the world is; a FaultInjector
+// rolls seeded dice against that config and perturbs whatever point of
+// the chain is handed to it:
+//   - excitation IQ: carrier frequency offset, sampling-clock drift,
+//     mid-packet dropouts, burst interferers (channel/impairments.h);
+//   - ADC sample streams into StreamingIdentifier: truncation and
+//     duplication of sample runs;
+//   - per-slot link quality: a Gilbert–Elliott good/bad process plus
+//     i.i.d. frame corruption, consumed by the link layer
+//     (core/tag/link_session.h).
+// Every draw flows through the ms::Rng the caller supplies, so a whole
+// faulted experiment is reproducible from one seed.
+#pragma once
+
+#include <cstdint>
+
+#include "channel/impairments.h"
+#include "common/rng.h"
+#include "dsp/iq.h"
+
+namespace ms {
+
+struct FaultConfig {
+  // --- excitation IQ ---
+  double cfo_max_hz = 0.0;          ///< per-packet CFO ~ U[-max, max]
+  double clock_drift_max_ppm = 0.0; ///< per-packet drift ~ U[-max, max]
+  double dropout_prob = 0.0;        ///< P(mid-packet excitation dropout)
+  double dropout_fraction = 0.1;    ///< dropped span as fraction of packet
+  double burst_prob = 0.0;          ///< P(burst interferer hits the packet)
+  double burst_power_ratio = 4.0;   ///< burst power / signal power
+  double burst_fraction = 0.1;      ///< burst span as fraction of packet
+
+  // --- ADC sample stream ---
+  double adc_truncate_prob = 0.0;     ///< P(stream loses its tail)
+  double adc_truncate_max_fraction = 0.5;
+  double adc_duplicate_prob = 0.0;    ///< P(a run of samples repeats)
+  double adc_duplicate_max_fraction = 0.2;
+
+  // --- per-slot link layer ---
+  LinkQualityConfig link;
+  double frame_corrupt_prob = 0.0;  ///< i.i.d. extra frame-burst corruption
+
+  bool any_excitation_fault() const {
+    return cfo_max_hz > 0.0 || clock_drift_max_ppm > 0.0 ||
+           dropout_prob > 0.0 || burst_prob > 0.0;
+  }
+  bool any_adc_fault() const {
+    return adc_truncate_prob > 0.0 || adc_duplicate_prob > 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  struct Stats {
+    std::size_t cfo_applied = 0;
+    std::size_t drift_applied = 0;
+    std::size_t dropouts = 0;
+    std::size_t bursts = 0;
+    std::size_t truncations = 0;
+    std::size_t duplications = 0;
+  };
+
+  explicit FaultInjector(FaultConfig cfg) : cfg_(cfg) {}
+
+  /// Perturb one excitation packet (CFO → drift → dropout → burst).
+  Iq perturb_excitation(Iq x, double sample_rate_hz, Rng& rng);
+
+  /// Perturb an ADC sample stream (duplication, then truncation).
+  Samples perturb_adc(Samples x, Rng& rng);
+
+  const FaultConfig& config() const { return cfg_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  FaultConfig cfg_;
+  Stats stats_;
+};
+
+}  // namespace ms

@@ -93,6 +93,14 @@ Samples make_ident_trace(Protocol p, const IdentTrialConfig& cfg, Rng& rng) {
     iq = ch.apply(iq);
   }
 
+  // Excitation-side faults perturb the clean IQ before noise is added
+  // (the interferer/dropout happens on the air, not in the receiver).
+  // Gated so a fault-free config consumes no extra Rng draws.
+  if (cfg.faults.any_excitation_fault()) {
+    FaultInjector injector(cfg.faults);
+    iq = injector.perturb_excitation(std::move(iq), rate, rng);
+  }
+
   const std::size_t jitter =
       static_cast<std::size_t>(rng.uniform(0.0, cfg.jitter_max_s) * rate);
   const double sig_power = mean_power(std::span<const Cf>(iq));
@@ -106,8 +114,16 @@ Samples make_ident_trace(Protocol p, const IdentTrialConfig& cfg, Rng& rng) {
   const float amp = static_cast<float>(rng.uniform(cfg.amp_min, cfg.amp_max));
   for (Cf& v : noisy) v *= amp;
 
-  return acquire_trace(noisy, rate, cfg.ident.templates.adc_rate_hz,
-                       cfg.ident.templates.front_end);
+  Samples trace_out = acquire_trace(noisy, rate, cfg.ident.templates.adc_rate_hz,
+                                    cfg.ident.templates.front_end);
+
+  // ADC-side faults (truncated / duplicated sample runs) hit the stream
+  // the identifier actually consumes.
+  if (cfg.faults.any_adc_fault()) {
+    FaultInjector injector(cfg.faults);
+    trace_out = injector.perturb_adc(std::move(trace_out), rng);
+  }
+  return trace_out;
 }
 
 IdentResult run_ident_experiment(const IdentTrialConfig& cfg,

@@ -12,6 +12,7 @@
 #include "channel/multipath.h"
 #include "common/rng.h"
 #include "core/ident/identifier.h"
+#include "sim/faults/fault_injector.h"
 
 namespace ms {
 
@@ -30,6 +31,11 @@ struct IdentTrialConfig {
   /// preamble (footnote 1).  The stored template is built from the long
   /// preamble, so short-preamble traffic probes template mismatch.
   double wifi_b_short_preamble_fraction = 0.0;
+  /// Optional seeded impairments: excitation faults (CFO, clock drift,
+  /// dropouts, bursts) hit the IQ before noise; ADC faults (truncation,
+  /// duplication) hit the acquired sample stream.  All knobs default to
+  /// zero, which draws exactly the seed model's Rng stream.
+  FaultConfig faults;
   std::uint64_t seed = 1;
 };
 

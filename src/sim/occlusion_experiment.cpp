@@ -1,5 +1,7 @@
 #include "sim/occlusion_experiment.h"
 
+#include <algorithm>
+
 #include "common/units.h"
 #include "sim/excitation.h"
 
@@ -39,6 +41,14 @@ std::array<Fig15Row, 4> occlusion_throughput(const OcclusionScenario& sc) {
   constexpr WallMaterial kWall = WallMaterial::Drywall;
   std::array<Fig15Row, 4> rows{};
 
+  // Optional impairments: a fade on the backscatter channel raises the
+  // effective receiver noise figure; excitation dropouts steal airtime
+  // from every system (no excitation, no tag data).
+  BackscatterLink link = sc.link;
+  link.rx_noise_figure_db += sc.backscatter_fade_db;
+  const double duty_keep =
+      std::clamp(1.0 - sc.excitation_dropout_fraction, 0.0, 1.0);
+
   // Multiscatter: single-receiver decode of the backscattered packet;
   // the original channel's occlusion is irrelevant.
   for (std::size_t i = 0; i < 2; ++i) {
@@ -46,9 +56,9 @@ std::array<Fig15Row, 4> occlusion_throughput(const OcclusionScenario& sc) {
     const ExcitationSpec exc = fig12_excitation(p);
     const OverlayParams params = mode_params(p, OverlayMode::Mode1);
     const Throughput t =
-        overlay_throughput_at(exc, params, sc.link, sc.tag_rx_distance_m);
+        overlay_throughput_at(exc, params, link, sc.tag_rx_distance_m);
     rows[i] = {i == 0 ? "multiscatter-BLE" : "multiscatter-11b",
-               t.tag_bps / 1e3};
+               duty_keep * t.tag_bps / 1e3};
   }
 
   // Baselines: tag throughput collapses with the drywalled original link.
@@ -59,8 +69,8 @@ std::array<Fig15Row, 4> occlusion_throughput(const OcclusionScenario& sc) {
     const ExcitationSpec exc = fig12_excitation(base[i].carrier);
     const double thr = sys.tag_throughput_bps(
         exc.airtime_duty(), sc.original_snr_db(kWall, base[i].carrier),
-        sc.link.snr_db(sc.tag_rx_distance_m, base[i].carrier));
-    rows[2 + i] = {base[i].name, thr / 1e3};
+        link.snr_db(sc.tag_rx_distance_m, base[i].carrier));
+    rows[2 + i] = {base[i].name, duty_keep * thr / 1e3};
   }
   return rows;
 }

@@ -17,6 +17,14 @@ struct OcclusionScenario {
   double tx_rx1_distance_m = 6.0;   ///< original channel (TX → RX1)
   double tag_rx_distance_m = 4.0;   ///< backscatter channel (tag → RX2/RX)
   BackscatterLink link;             ///< shared geometry for both systems
+  /// Fraction of excitation airtime lost to source dropouts/brown-outs
+  /// (see channel/impairments.h).  Every system needs the excitation on
+  /// the air to carry tag data, so all Fig 15 rows derate by this much.
+  double excitation_dropout_fraction = 0.0;
+  /// Extra fade on the backscatter channel (an interferer or absorber
+  /// near the tag), applied on top of the wall loss.  0 = the paper's
+  /// clean deployment.
+  double backscatter_fade_db = 0.0;
   /// Direct-link budget for the original channel.
   double original_snr_db(WallMaterial wall, Protocol p) const;
 };

@@ -1,5 +1,6 @@
 #include "sim/trace_io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -40,7 +41,39 @@ RawHeader read_header(std::ifstream& f, const std::string& path) {
   MS_CHECK_MSG(f.good(), "cannot read trace header: " + path);
   MS_CHECK_MSG(std::memcmp(h.magic, kMagic, 4) == 0,
                "not a multiscatter trace file: " + path);
-  MS_CHECK_MSG(h.version == kVersion, "unsupported trace version: " + path);
+  MS_CHECK_MSG(h.version == kVersion,
+               "unsupported trace version " + std::to_string(h.version) +
+                   " (expected " + std::to_string(kVersion) + "): " + path);
+  MS_CHECK_MSG(h.complex_iq <= 1,
+               "corrupt trace header (element type " +
+                   std::to_string(h.complex_iq) + " is neither real nor "
+                   "complex): " + path);
+  MS_CHECK_MSG(h.sample_rate_hz > 0.0 && std::isfinite(h.sample_rate_hz),
+               "corrupt trace header (non-positive sample rate): " + path);
+
+  // The header's sample count must agree with what is actually on disk —
+  // a short read must fail loudly here, never hand back a short buffer.
+  const std::streampos payload_start = f.tellg();
+  f.seekg(0, std::ios::end);
+  const std::streampos end = f.tellg();
+  f.seekg(payload_start);
+  MS_CHECK_MSG(f.good() && payload_start >= 0 && end >= payload_start,
+               "cannot size trace file: " + path);
+  const auto payload_bytes =
+      static_cast<std::uint64_t>(end - payload_start);
+  const std::uint64_t elem = h.complex_iq ? sizeof(Cf) : sizeof(float);
+  MS_CHECK_MSG(
+      h.n_samples <= payload_bytes / elem,
+      "truncated trace: header promises " + std::to_string(h.n_samples) +
+          " samples (" + std::to_string(h.n_samples * elem) +
+          " payload bytes) but the file holds " +
+          std::to_string(payload_bytes) + ": " + path);
+  MS_CHECK_MSG(
+      h.n_samples * elem == payload_bytes,
+      "corrupt trace: header promises " + std::to_string(h.n_samples) +
+          " samples but the file holds " +
+          std::to_string(payload_bytes / elem) + " (" +
+          std::to_string(payload_bytes) + " payload bytes): " + path);
   return h;
 }
 

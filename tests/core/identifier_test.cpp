@@ -126,5 +126,67 @@ TEST(Identifier, DeterministicForFixedSeed) {
   EXPECT_EQ(a.confusion, b.confusion);
 }
 
+/// Wrong-commit count over identical traces for a given abstain margin
+/// (traces depend only on the seed, so both margins see the same set).
+struct AbstainTally {
+  std::size_t wrong = 0;
+  std::size_t abstained = 0;
+  std::size_t committed = 0;
+};
+
+AbstainTally tally_abstain(double margin) {
+  IdentTrialConfig cfg;
+  cfg.ident.templates.adc_rate_hz = 10e6;
+  cfg.ident.templates.preprocess_len = 20;
+  cfg.ident.templates.match_len = 60;
+  cfg.ident.compute = ComputeMode::OneBit;
+  cfg.ident.abstain_margin = margin;
+  const ProtocolIdentifier ident(cfg.ident);
+  Rng rng(31);  // one fixed stream → identical traces per margin
+  AbstainTally tally;
+  for (Protocol truth : kAllProtocols) {
+    for (int t = 0; t < 30; ++t) {
+      const IdentDecision d = ident.classify(make_ident_trace(truth, cfg, rng));
+      if (d.abstained) ++tally.abstained;
+      if (d.protocol) {
+        ++tally.committed;
+        if (*d.protocol != truth) ++tally.wrong;
+      }
+    }
+  }
+  return tally;
+}
+
+TEST(Identifier, AbstainMarginCutsMisidentifications) {
+  const AbstainTally seed_model = tally_abstain(0.0);
+  const AbstainTally abstaining = tally_abstain(0.15);
+  // The seed model commits on every over-threshold window and pays for
+  // it in wrong verdicts at this noisy 1-bit operating point.
+  ASSERT_GT(seed_model.wrong, 0u);
+  EXPECT_EQ(seed_model.abstained, 0u);
+  // A decision margin turns most of those wrong commits into abstains
+  // without gutting the commit rate.
+  EXPECT_LT(abstaining.wrong, seed_model.wrong);
+  EXPECT_GT(abstaining.abstained, 0u);
+  EXPECT_GT(abstaining.committed, seed_model.committed / 2);
+}
+
+TEST(Identifier, ClassifyExposesDecisionMargin) {
+  IdentTrialConfig cfg = base_config(20e6, 40, 120);
+  cfg.rf_snr_db = 40.0;
+  const ProtocolIdentifier ident(cfg.ident);
+  Rng rng(5);
+  const IdentDecision d =
+      ident.classify(make_ident_trace(Protocol::Zigbee, cfg, rng));
+  ASSERT_TRUE(d.protocol.has_value());
+  EXPECT_EQ(*d.protocol, Protocol::Zigbee);
+  EXPECT_FALSE(d.abstained);
+  EXPECT_GT(d.confidence, 0.0);
+  // identify() is the same decision with the scores dropped.
+  Rng rng2(5);
+  EXPECT_EQ(ident.identify(make_ident_trace(Protocol::Zigbee, cfg, rng2)),
+            d.protocol);
+}
+
 }  // namespace
 }  // namespace ms

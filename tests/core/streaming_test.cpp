@@ -94,6 +94,73 @@ TEST(Streaming, ResetClearsState) {
   EXPECT_EQ(events[0].protocol, Protocol::Zigbee);
 }
 
+void expect_same_events(const std::vector<IdentEvent>& a,
+                        const std::vector<IdentEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].trigger_sample, b[i].trigger_sample);
+    EXPECT_EQ(a[i].protocol, b[i].protocol);
+    EXPECT_EQ(a[i].scores, b[i].scores);
+    EXPECT_EQ(a[i].confidence, b[i].confidence);
+    EXPECT_EQ(a[i].abstained, b[i].abstained);
+  }
+}
+
+TEST(Streaming, ResetThenReplayMatchesFreshInstance) {
+  Rng rng(7);
+  const Samples trace =
+      two_packet_trace(Protocol::Zigbee, Protocol::WifiB, 3000, rng);
+
+  StreamingIdentifier sid(streaming_config());
+  const auto first_run = sid.push(trace);
+  ASSERT_FALSE(first_run.empty());
+
+  // reset() must restore ALL trigger state (noise-floor tracker,
+  // holdoff counters, window, position): a replay after reset must be
+  // indistinguishable from a brand-new instance.
+  sid.reset();
+  const auto replay = sid.push(trace);
+  StreamingIdentifier fresh(streaming_config());
+  const auto fresh_run = fresh.push(trace);
+  expect_same_events(replay, fresh_run);
+  expect_same_events(first_run, replay);
+}
+
+TEST(Streaming, AbstainRearmsFasterThanFullHoldoff) {
+  Rng rng(8);
+  // A cut-short burst, then a real packet arriving while the 40 µs
+  // post-classification holdoff (400 samples at 10 Msps) is still
+  // running.  A committing detector is blind until the holdoff expires
+  // mid-packet and then waits in vain for quiet air, so it sleeps
+  // through the second packet entirely.
+  IdentTrialConfig tcfg = strong_trial();
+  tcfg.jitter_max_s = 0.0;
+  const Samples p1 = make_ident_trace(Protocol::Ble, tcfg, rng);
+  const Samples p2 = make_ident_trace(Protocol::Ble, tcfg, rng);
+  Samples trace(p1.begin(), p1.begin() + 200);
+  trace.insert(trace.end(), 60, 0.005f);  // short quiet gap
+  trace.insert(trace.end(), p2.begin(), p2.end());
+
+  StreamingIdentifier committing(streaming_config());
+  const std::size_t committed = committing.push(trace).size();
+  EXPECT_EQ(committed, 1u);
+
+  // Abstaining detector (margin no score can clear): re-arms after
+  // abstain_rearm_s (80 samples) and catches the second packet too.
+  IdentifierConfig acfg = streaming_config();
+  acfg.abstain_margin = 2.1;
+  StreamingIdentifier abstaining(acfg);
+  const auto events = abstaining.push(trace);
+  for (const IdentEvent& ev : events) {
+    EXPECT_TRUE(ev.abstained);
+    EXPECT_FALSE(ev.protocol.has_value());
+  }
+  ASSERT_EQ(events.size(), 2u);
+  // The re-trigger lands at the second packet's true onset (sample 260),
+  // not after the full holdoff.
+  EXPECT_EQ(events[1].trigger_sample, 260u);
+}
+
 TEST(Streaming, HoldoffPreventsDoubleTrigger) {
   Rng rng(6);
   StreamingIdentifier sid(streaming_config());

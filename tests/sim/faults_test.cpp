@@ -1,0 +1,196 @@
+#include "sim/faults/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/ops.h"
+#include "sim/ident_experiment.h"
+
+namespace ms {
+namespace {
+
+Iq tone(std::size_t n, float amp = 1.0f) {
+  Iq x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float ph = 0.01f * static_cast<float>(i);
+    x[i] = amp * Cf(std::cos(ph), std::sin(ph));
+  }
+  return x;
+}
+
+TEST(Impairments, CfoPreservesPowerAndRotatesPhase) {
+  const Iq x = tone(2048);
+  const Iq y = apply_cfo(x, 25e3, 10e6);
+  ASSERT_EQ(y.size(), x.size());
+  EXPECT_NEAR(mean_power(std::span<const Cf>(y)),
+              mean_power(std::span<const Cf>(x)), 1e-4);
+  // A pure rotation: per-sample magnitudes unchanged.
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_NEAR(std::abs(y[i]), std::abs(x[i]), 1e-4f);
+  EXPECT_GT(std::abs(y[100] - x[100]), 1e-3f);  // …but the phase moved
+}
+
+TEST(Impairments, ZeroCfoIsIdentity) {
+  const Iq x = tone(256);
+  const Iq y = apply_cfo(x, 0.0, 10e6);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-6f);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-6f);
+  }
+}
+
+TEST(Impairments, ClockDriftResamplesLength) {
+  const Iq x = tone(10000);
+  // A fast transmitter clock (+100 ppm) squeezes the waveform.
+  const Iq fast = apply_clock_drift(x, 100.0);
+  const Iq slow = apply_clock_drift(x, -100.0);
+  EXPECT_LT(fast.size(), x.size());
+  EXPECT_GT(slow.size(), x.size());
+  EXPECT_NEAR(static_cast<double>(fast.size()), 10000.0 / 1.0001, 2.0);
+  EXPECT_THROW(apply_clock_drift(x, 2e5), Error);
+}
+
+TEST(Impairments, DropoutZeroesClippedSpan) {
+  Iq x = tone(100);
+  apply_dropout(x, 90, 50);  // runs past the end: clipped
+  for (std::size_t i = 0; i < 90; ++i) EXPECT_NE(std::abs(x[i]), 0.0f);
+  for (std::size_t i = 90; i < 100; ++i) EXPECT_EQ(std::abs(x[i]), 0.0f);
+}
+
+TEST(Impairments, BurstRaisesPowerOnlyInsideSpan) {
+  Iq x = tone(1000);
+  Rng rng(1);
+  add_burst_interference(x, 200, 100, 16.0, rng);
+  const Iq clean = tone(1000);
+  double out_of_span = 0.0, in_span = 0.0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const double d = std::abs(x[i] - clean[i]);
+    if (i >= 200 && i < 300)
+      in_span += d;
+    else
+      out_of_span += d;
+  }
+  EXPECT_EQ(out_of_span, 0.0);
+  EXPECT_GT(in_span / 100.0, 1.0);  // 16× power burst is not subtle
+}
+
+TEST(LinkQuality, QuietConfigNeverLeavesGoodState) {
+  LinkQualityProcess quality(LinkQualityConfig{});
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(quality.step(rng), 0.0);
+    EXPECT_FALSE(quality.bad());
+  }
+}
+
+TEST(LinkQuality, StickyBadStateAppliesPenalty) {
+  LinkQualityConfig cfg;
+  cfg.p_good_to_bad = 1.0;
+  cfg.p_bad_to_good = 0.0;
+  cfg.bad_snr_penalty_db = 12.0;
+  LinkQualityProcess quality(cfg);
+  Rng rng(3);
+  quality.step(rng);  // enters bad
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(quality.step(rng), -12.0);
+    EXPECT_TRUE(quality.bad());
+  }
+}
+
+TEST(FaultInjector, SameSeedSamePerturbation) {
+  FaultConfig cfg;
+  cfg.cfo_max_hz = 50e3;
+  cfg.clock_drift_max_ppm = 40.0;
+  cfg.dropout_prob = 0.5;
+  cfg.burst_prob = 0.5;
+  const Iq x = tone(4000);
+
+  FaultInjector a(cfg), b(cfg);
+  Rng ra(11), rb(11);
+  const Iq ya = a.perturb_excitation(x, 10e6, ra);
+  const Iq yb = b.perturb_excitation(x, 10e6, rb);
+  EXPECT_EQ(ya, yb);
+}
+
+TEST(FaultInjector, StatsCountAppliedFaults) {
+  FaultConfig cfg;
+  cfg.dropout_prob = 1.0;
+  cfg.burst_prob = 1.0;
+  FaultInjector injector(cfg);
+  Rng rng(4);
+  injector.perturb_excitation(tone(2000), 10e6, rng);
+  injector.perturb_excitation(tone(2000), 10e6, rng);
+  EXPECT_EQ(injector.stats().dropouts, 2u);
+  EXPECT_EQ(injector.stats().bursts, 2u);
+  EXPECT_EQ(injector.stats().cfo_applied, 0u);  // knob left at zero
+}
+
+TEST(FaultInjector, AdcTruncationShortensDuplicationLengthens) {
+  Samples x(1000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = static_cast<float>(i);
+
+  FaultConfig trunc;
+  trunc.adc_truncate_prob = 1.0;
+  FaultInjector ti(trunc);
+  Rng rng(5);
+  const Samples shorter = ti.perturb_adc(x, rng);
+  EXPECT_LT(shorter.size(), x.size());
+  EXPECT_GE(shorter.size(), x.size() / 2);  // bounded by max_fraction
+  EXPECT_EQ(ti.stats().truncations, 1u);
+
+  FaultConfig dup;
+  dup.adc_duplicate_prob = 1.0;
+  FaultInjector di(dup);
+  const Samples longer = di.perturb_adc(x, rng);
+  EXPECT_GT(longer.size(), x.size());
+  EXPECT_EQ(di.stats().duplications, 1u);
+}
+
+TEST(FaultInjector, ZeroConfigIsIdentity) {
+  FaultInjector injector(FaultConfig{});
+  Rng rng(6);
+  const Iq x = tone(500);
+  EXPECT_EQ(injector.perturb_excitation(x, 10e6, rng), x);
+  Samples s(100, 0.5f);
+  EXPECT_EQ(injector.perturb_adc(s, rng), s);
+}
+
+TEST(IdentFaults, BurstInterferenceDegradesIdentification) {
+  IdentTrialConfig clean;
+  clean.ident.templates.adc_rate_hz = 10e6;
+  clean.ident.templates.preprocess_len = 20;
+  clean.ident.templates.match_len = 60;
+  clean.ident.compute = ComputeMode::OneBit;
+  clean.seed = 77;
+
+  IdentTrialConfig faulted = clean;
+  faulted.faults.burst_prob = 1.0;
+  faulted.faults.burst_power_ratio = 8.0;
+  faulted.faults.burst_fraction = 0.3;
+
+  const double acc_clean = run_ident_experiment(clean, 25).average_accuracy();
+  const double acc_fault =
+      run_ident_experiment(faulted, 25).average_accuracy();
+  EXPECT_LT(acc_fault, acc_clean - 0.1);
+}
+
+TEST(IdentFaults, TraceGenerationIsSeedStableUnderFaults) {
+  IdentTrialConfig cfg;
+  cfg.ident.templates.adc_rate_hz = 10e6;
+  cfg.ident.templates.preprocess_len = 20;
+  cfg.ident.templates.match_len = 60;
+  cfg.ident.compute = ComputeMode::OneBit;
+  cfg.faults.cfo_max_hz = 30e3;
+  cfg.faults.adc_truncate_prob = 0.5;
+
+  Rng r1(123), r2(123);
+  const Samples a = make_ident_trace(Protocol::Ble, cfg, r1);
+  const Samples b = make_ident_trace(Protocol::Ble, cfg, r2);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ms

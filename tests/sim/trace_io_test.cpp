@@ -79,6 +79,71 @@ TEST_F(TraceIoTest, TruncatedPayloadRejected) {
   EXPECT_THROW(load_real_trace(path), Error);
 }
 
+// Corrupt one byte at `offset` in the file.
+void patch_byte(const std::string& path, std::size_t offset, char value) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(value);
+}
+
+TEST_F(TraceIoTest, BadVersionRejected) {
+  const std::string path = temp_path("badver.mstr");
+  save_trace(path, Samples(10, 1.0f), 1e6);
+  patch_byte(path, 4, 9);  // version field (little-endian u32 at offset 4)
+  EXPECT_THROW(read_trace_header(path), Error);
+  EXPECT_THROW(load_real_trace(path), Error);
+}
+
+TEST_F(TraceIoTest, BadElementTypeRejected) {
+  const std::string path = temp_path("badelem.mstr");
+  save_trace(path, Samples(10, 1.0f), 1e6);
+  patch_byte(path, 8, 7);  // complex_iq field: neither 0 nor 1
+  EXPECT_THROW(read_trace_header(path), Error);
+}
+
+TEST_F(TraceIoTest, HeaderSampleCountMismatchRejected) {
+  const std::string path = temp_path("badcount.mstr");
+  save_trace(path, Samples(100, 1.0f), 1e6);
+  // Inflate the header's n_samples (u64 at offset 24) beyond the file.
+  patch_byte(path, 24, 127);
+  EXPECT_THROW(read_trace_header(path), Error);
+  EXPECT_THROW(load_real_trace(path), Error);
+}
+
+TEST_F(TraceIoTest, TrailingGarbageRejected) {
+  const std::string path = temp_path("trailing.mstr");
+  save_trace(path, Samples(50, 1.0f), 1e6);
+  std::ofstream(path, std::ios::binary | std::ios::app) << "extra bytes";
+  EXPECT_THROW(load_real_trace(path), Error);
+}
+
+TEST_F(TraceIoTest, TruncatedHeaderRejected) {
+  const std::string path = temp_path("shorthdr.mstr");
+  std::ofstream(path, std::ios::binary) << "MSTR";  // magic only
+  EXPECT_THROW(read_trace_header(path), Error);
+}
+
+TEST_F(TraceIoTest, TruncatedPayloadErrorIsDescriptive) {
+  const std::string path = temp_path("desc.mstr");
+  save_trace(path, Samples(100, 1.0f), 1e6);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 12);
+  std::ofstream(path, std::ios::binary)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  try {
+    load_real_trace(path);
+    FAIL() << "expected ms::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("100"), std::string::npos) << what;  // promised count
+  }
+}
+
 TEST_F(TraceIoTest, MissingFileThrows) {
   EXPECT_THROW(load_iq_trace(temp_path("does_not_exist.mstr")), Error);
 }
