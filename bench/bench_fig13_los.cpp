@@ -1,17 +1,18 @@
 // Fig 13: LoS deployment — backscatter RSSI, BER, and aggregate
 // throughput across tag→receiver distances, and the maximal ranges.
-// Pass an output directory as argv[1] to additionally dump the series
-// as CSV (one file per protocol).
+// --out DIR (or a bare directory argument) dumps the series as CSV (one
+// file per protocol); --threads N sets the trial-engine worker count.
 #include <cstdio>
 
 #include "bench_util.h"
 #include "sim/range_experiment.h"
+#include "sim/runner/cli.h"
 #include "sim/trace_io.h"
 
 using namespace ms;
 
 namespace {
-void dump_csv(const char* dir, Protocol p,
+void dump_csv(const std::string& dir, Protocol p,
               const std::vector<RangePoint>& pts) {
   CsvColumn d{"distance_m", {}}, rssi{"rssi_dbm", {}}, pber{"prod_ber", {}},
       tber{"tag_ber", {}}, thr{"aggregate_kbps", {}};
@@ -23,17 +24,17 @@ void dump_csv(const char* dir, Protocol p,
     thr.values.push_back(pt.aggregate_kbps);
   }
   const std::vector<CsvColumn> cols = {d, rssi, pber, tber, thr};
-  save_csv(std::string(dir) + "/fig13_" +
-               std::string(protocol_name(p)) + ".csv",
-           cols);
+  save_csv(dir + "/fig13_" + std::string(protocol_name(p)) + ".csv", cols);
 }
 }  // namespace
 
 int main(int argc, char** argv) {
+  const CliOptions opt = parse_cli_or_exit(argc, argv);
   bench::title("Fig 13", "LoS: RSSI / BER / throughput vs distance");
-  const RangeSweepConfig cfg = los_sweep_config();
+  RangeSweepConfig cfg = los_sweep_config();
+  cfg.threads = opt.threads;
   for (Protocol p : kAllProtocols) {
-    if (argc > 1) dump_csv(argv[1], p, range_sweep(p, cfg));
+    if (!opt.out_dir.empty()) dump_csv(opt.out_dir, p, range_sweep(p, cfg));
     std::printf("\n  -- %s --\n", std::string(protocol_name(p)).c_str());
     std::printf("  %-8s %10s %12s %12s %12s\n", "d (m)", "RSSI(dBm)",
                 "prod BER", "tag BER", "thr (kbps)");

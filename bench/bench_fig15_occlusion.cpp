@@ -1,17 +1,33 @@
 // Fig 15: tag-data throughput when a drywall occludes the original
 // channel — multiscatter's single-receiver decode vs the two-receiver
-// Hitchhike and FreeRider baselines.
+// Hitchhike and FreeRider baselines.  --threads N sets the trial-engine
+// worker count; --out DIR dumps the rows as CSV.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "sim/occlusion_experiment.h"
+#include "sim/runner/cli.h"
+#include "sim/trace_io.h"
 
 using namespace ms;
 
-int main() {
+int main(int argc, char** argv) {
+  const CliOptions opt = parse_cli_or_exit(argc, argv);
   bench::title("Fig 15", "tag throughput with the original channel drywalled");
   OcclusionScenario sc;
+  sc.threads = opt.threads;
   const auto rows = occlusion_throughput(sc);
+  if (!opt.out_dir.empty()) {
+    CsvColumn idx{"system_index", {}}, kbps{"tag_kbps", {}};
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      idx.values.push_back(static_cast<double>(i));
+      kbps.values.push_back(rows[i].tag_kbps);
+    }
+    const std::vector<CsvColumn> cols = {idx, kbps};
+    save_csv(opt.out_dir + "/fig15_occlusion.csv", cols);
+  }
   std::printf("%-20s %14s\n", "system", "tag kbps");
   bench::rule();
   for (const Fig15Row& r : rows)

@@ -4,18 +4,37 @@
 //       single-protocol tag idles half the time.
 //   (b) Intelligent carrier pick: abundant 802.11n vs spotty 802.11b with
 //       a 6.3 kbps smart-bracelet goodput goal.
+// --threads N sets the trial-engine worker count; --seed S overrides the
+// default; --out DIR dumps the Fig 18a timeline as CSV.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "sim/diversity_experiment.h"
+#include "sim/runner/cli.h"
+#include "sim/trace_io.h"
 
 using namespace ms;
 
-int main() {
+int main(int argc, char** argv) {
+  const CliOptions opt = parse_cli_or_exit(argc, argv);
   const BackscatterLink link;
 
   bench::title("Fig 18a", "uninterrupted backscatter over alternating carriers");
-  const DiversityResult r = run_discontinuous_excitations(link, 4.0);
+  const DiversityResult r = run_discontinuous_excitations(
+      link, 4.0, 60.0, 0.5, opt.seed ? opt.seed : 7, opt.threads);
+  if (!opt.out_dir.empty()) {
+    CsvColumn t{"t_s", {}}, multi{"multiscatter_kbps", {}},
+        single{"single_protocol_kbps", {}};
+    for (const DiversitySlot& s : r.timeline) {
+      t.values.push_back(s.t_s);
+      multi.values.push_back(s.multiscatter_kbps);
+      single.values.push_back(s.single_protocol_kbps);
+    }
+    const std::vector<CsvColumn> cols = {t, multi, single};
+    save_csv(opt.out_dir + "/fig18_diversity_timeline.csv", cols);
+  }
   std::printf("  %-8s %18s %18s\n", "t (s)", "multiscatter kbps",
               "802.11b-only kbps");
   for (std::size_t i = 0; i < r.timeline.size(); i += 4) {

@@ -1,23 +1,57 @@
 // Fig 7: blind vs ordered matching at 10 Msps with ±1 quantization.
 // Ordered matching's thresholds and order come from the brute-force
-// calibration the paper describes (§2.3.2).
+// calibration the paper describes (§2.3.2).  Runs on the parallel trial
+// engine: --threads N picks the worker count (output is byte-identical
+// for any value), --trials overrides the 200-trial default, --out DIR
+// dumps the two confusion matrices as CSV.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "sim/ident_experiment.h"
+#include "sim/runner/cli.h"
+#include "sim/trace_io.h"
 
 using namespace ms;
 
-int main() {
+namespace {
+
+void dump_confusion(const std::string& dir, const char* file,
+                    const IdentResult& r) {
+  std::vector<CsvColumn> cols;
+  CsvColumn truth{"true_protocol", {}};
+  for (Protocol p : kAllProtocols)
+    truth.values.push_back(static_cast<double>(protocol_index(p)));
+  cols.push_back(truth);
+  const char* names[5] = {"det_wifi_b", "det_wifi_n", "det_ble",
+                          "det_zigbee", "det_none"};
+  for (std::size_t j = 0; j < 5; ++j) {
+    CsvColumn c{names[j], {}};
+    for (std::size_t i = 0; i < 4; ++i)
+      c.values.push_back(static_cast<double>(r.confusion[i][j]));
+    cols.push_back(c);
+  }
+  save_csv(dir + "/" + file, cols);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse_cli_or_exit(argc, argv);
+  const std::size_t trials = opt.trials ? opt.trials : 200;
+
   IdentTrialConfig cfg;
   cfg.ident.templates.adc_rate_hz = 10e6;
   cfg.ident.templates.preprocess_len = 20;
   cfg.ident.templates.match_len = 60;
   cfg.ident.compute = ComputeMode::OneBit;
+  cfg.threads = opt.threads;
+  if (opt.seed) cfg.seed = opt.seed;
 
   bench::title("Fig 7a", "blind matching at 10 Msps, 1-bit quantized");
   cfg.ident.decision = DecisionMode::Blind;
-  const IdentResult blind = run_ident_experiment(cfg, 200);
+  const IdentResult blind = run_ident_experiment(cfg, trials);
   std::printf("%-10s %10s\n", "protocol", "accuracy");
   bench::rule();
   for (Protocol p : kAllProtocols)
@@ -38,7 +72,7 @@ int main() {
   for (Protocol p : cal.order)
     std::printf(" %.2f", cal.thresholds[protocol_index(p)]);
   std::printf("\n");
-  const IdentResult ordered = run_ident_experiment(cfg, 200);
+  const IdentResult ordered = run_ident_experiment(cfg, trials);
   bench::rule();
   for (Protocol p : kAllProtocols)
     std::printf("%-10s %10.3f\n", std::string(protocol_name(p)).c_str(),
@@ -48,5 +82,10 @@ int main() {
   bench::rule();
   std::printf("  ordered − blind = %+.3f (paper: +0.070)\n",
               ordered.average_accuracy() - blind.average_accuracy());
+
+  if (!opt.out_dir.empty()) {
+    dump_confusion(opt.out_dir, "fig7_blind_confusion.csv", blind);
+    dump_confusion(opt.out_dir, "fig7_ordered_confusion.csv", ordered);
+  }
   return 0;
 }

@@ -9,8 +9,10 @@
 //      fades, occlusions) — where NACK-driven adaptation pays off;
 //   3. identification accuracy vs excitation/ADC fault intensity (CFO,
 //      burst interferers, dropouts, truncated sample streams).
-// Pass an output directory as argv[1] to additionally dump each sweep
-// as CSV.
+// Runs on the parallel trial engine: every (sweep row × link variant)
+// is an independent task and output is byte-identical at any --threads
+// value.  --out DIR (or a bare directory argument) additionally dumps
+// each sweep as CSV.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,6 +20,8 @@
 #include "bench_util.h"
 #include "core/tag/link_session.h"
 #include "sim/ident_experiment.h"
+#include "sim/runner/cli.h"
+#include "sim/runner/trial_runner.h"
 #include "sim/trace_io.h"
 
 using namespace ms;
@@ -46,6 +50,28 @@ struct SweepRow {
   double x = 0.0;
   LinkSessionReport adaptive, fixed, blind;
 };
+
+/// Fan one sweep out on the engine: grid = (row × 3 link variants),
+/// merged back into SweepRows in row order.  Each variant seeds its own
+/// Rng(kSeed) internally, so the fan-out changes scheduling only.
+template <typename MakeCfg>
+std::vector<SweepRow> run_sweep(const std::vector<double>& xs,
+                                MakeCfg&& make_cfg, std::size_t threads) {
+  TrialRunner runner({threads, kSeed});
+  auto reports = runner.run_grid(
+      xs.size(), 3, [&](std::size_t row, std::size_t variant, Rng&) {
+        const LinkSessionConfig cfg = make_cfg(xs[row]);
+        if (variant == 0) return run_variant(cfg, true, true);
+        if (variant == 1) return run_variant(cfg, true, false);
+        return run_variant(cfg, false, false);
+      });
+  std::vector<SweepRow> rows;
+  rows.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    rows.push_back({xs[i], reports[i * 3 + 0], reports[i * 3 + 1],
+                    reports[i * 3 + 2]});
+  return rows;
+}
 
 void print_rows(const char* xname, const std::vector<SweepRow>& rows) {
   std::printf("  %-12s %26s %26s %20s\n", "", "ARQ + adaptive", "ARQ fixed",
@@ -87,7 +113,7 @@ void dump_rows(const char* dir, const char* file, const char* xname,
   save_csv(std::string(dir) + "/" + file, cols);
 }
 
-double ident_accuracy(const FaultConfig& faults) {
+double ident_accuracy(const FaultConfig& faults, std::size_t threads) {
   IdentTrialConfig cfg;
   cfg.ident.templates.adc_rate_hz = 10e6;
   cfg.ident.templates.preprocess_len = 20;
@@ -95,26 +121,28 @@ double ident_accuracy(const FaultConfig& faults) {
   cfg.ident.compute = ComputeMode::OneBit;
   cfg.faults = faults;
   cfg.seed = kSeed;
+  cfg.threads = threads;
   return run_ident_experiment(cfg, 40).average_accuracy();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const CliOptions opt = parse_cli_or_exit(argc, argv);
   bench::title("Robustness: faults",
                "link-layer goodput and identification under injected faults");
 
   // --- 1. i.i.d. frame corruption ------------------------------------
   std::printf("\n  -- goodput vs frame-corruption probability"
               " (bits/slot) --\n");
-  std::vector<SweepRow> corrupt_rows;
-  for (double p : {0.0, 0.05, 0.10, 0.20, 0.30}) {
-    LinkSessionConfig cfg = session_base();
-    cfg.frame_corrupt_prob = p;
-    corrupt_rows.push_back({p, run_variant(cfg, true, true),
-                            run_variant(cfg, true, false),
-                            run_variant(cfg, false, false)});
-  }
+  const std::vector<SweepRow> corrupt_rows = run_sweep(
+      {0.0, 0.05, 0.10, 0.20, 0.30},
+      [](double p) {
+        LinkSessionConfig cfg = session_base();
+        cfg.frame_corrupt_prob = p;
+        return cfg;
+      },
+      opt.threads);
   print_rows("P(corrupt)", corrupt_rows);
   const double clean = corrupt_rows[0].adaptive.goodput_bits_per_slot();
   const double at10 = corrupt_rows[2].adaptive.goodput_bits_per_slot();
@@ -124,27 +152,27 @@ int main(int argc, char** argv) {
   // --- 2. Gilbert–Elliott link-quality jumps --------------------------
   std::printf("\n  -- goodput vs bad-state entry probability (12 dB"
               " fade) --\n");
-  std::vector<SweepRow> fade_rows;
-  for (double p : {0.0, 0.02, 0.05, 0.10, 0.20}) {
-    LinkSessionConfig cfg = session_base();
-    cfg.link_quality.p_good_to_bad = p;
-    fade_rows.push_back({p, run_variant(cfg, true, true),
-                         run_variant(cfg, true, false),
-                         run_variant(cfg, false, false)});
-  }
+  const std::vector<SweepRow> fade_rows = run_sweep(
+      {0.0, 0.02, 0.05, 0.10, 0.20},
+      [](double p) {
+        LinkSessionConfig cfg = session_base();
+        cfg.link_quality.p_good_to_bad = p;
+        return cfg;
+      },
+      opt.threads);
   print_rows("P(g->b)", fade_rows);
 
   // --- 2b. persistent fades: where the (γ, FEC) ladder pays off --------
   std::printf("\n  -- goodput vs tag-link SNR (parked interferer /"
               " occlusion) --\n");
-  std::vector<SweepRow> snr_rows;
-  for (double snr : {4.0, 0.0, -4.0, -8.0, -12.0}) {
-    LinkSessionConfig cfg = session_base();
-    cfg.base_snr_db = snr;
-    snr_rows.push_back({snr, run_variant(cfg, true, true),
-                        run_variant(cfg, true, false),
-                        run_variant(cfg, false, false)});
-  }
+  const std::vector<SweepRow> snr_rows = run_sweep(
+      {4.0, 0.0, -4.0, -8.0, -12.0},
+      [](double snr) {
+        LinkSessionConfig cfg = session_base();
+        cfg.base_snr_db = snr;
+        return cfg;
+      },
+      opt.threads);
   print_rows("SNR (dB)", snr_rows);
 
   // --- 3. identification under excitation/ADC faults ------------------
@@ -154,7 +182,7 @@ int main(int argc, char** argv) {
   bench::rule();
   CsvColumn ix{"intensity", {}}, ic{"acc_clean", {}}, io{"acc_cfo", {}},
       ib{"acc_burst", {}}, it{"acc_adc_truncate", {}};
-  const double base = ident_accuracy(FaultConfig{});
+  const double base = ident_accuracy(FaultConfig{}, opt.threads);
   for (double intensity : {0.25, 0.5, 1.0}) {
     FaultConfig cfo;
     cfo.cfo_max_hz = intensity * 200e3;
@@ -164,8 +192,9 @@ int main(int argc, char** argv) {
     burst.burst_fraction = 0.2;
     FaultConfig trunc;
     trunc.adc_truncate_prob = intensity;
-    const double ac = ident_accuracy(cfo), ab = ident_accuracy(burst),
-                 at = ident_accuracy(trunc);
+    const double ac = ident_accuracy(cfo, opt.threads),
+                 ab = ident_accuracy(burst, opt.threads),
+                 at = ident_accuracy(trunc, opt.threads);
     std::printf("  %-12.2f %10.3f %10.3f %10.3f %10.3f\n", intensity, base,
                 ac, ab, at);
     ix.values.push_back(intensity);
@@ -175,13 +204,14 @@ int main(int argc, char** argv) {
     it.values.push_back(at);
   }
 
-  if (argc > 1) {
-    dump_rows(argv[1], "faults_frame_corruption.csv", "frame_corrupt_prob",
+  if (!opt.out_dir.empty()) {
+    const char* dir = opt.out_dir.c_str();
+    dump_rows(dir, "faults_frame_corruption.csv", "frame_corrupt_prob",
               corrupt_rows);
-    dump_rows(argv[1], "faults_link_quality.csv", "p_good_to_bad", fade_rows);
-    dump_rows(argv[1], "faults_base_snr.csv", "base_snr_db", snr_rows);
+    dump_rows(dir, "faults_link_quality.csv", "p_good_to_bad", fade_rows);
+    dump_rows(dir, "faults_base_snr.csv", "base_snr_db", snr_rows);
     const std::vector<CsvColumn> ident_cols = {ix, ic, io, ib, it};
-    save_csv(std::string(argv[1]) + "/faults_identification.csv", ident_cols);
+    save_csv(opt.out_dir + "/faults_identification.csv", ident_cols);
   }
 
   bench::rule();

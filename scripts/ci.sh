@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full CI sweep: Release build + the four labeled ctest suites (unit,
+# property, integration, golden), then the same suites under ASan+UBSan
+# (-DMS_SANITIZE=ON).  Exits nonzero on the first failing suite.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc)"
+labels=(unit property integration golden)
+
+run_suites() {
+  local build_dir="$1"
+  for label in "${labels[@]}"; do
+    echo "==> ctest -L ${label} (${build_dir##*/})"
+    ctest --test-dir "${build_dir}" -L "${label}" --output-on-failure -j"${jobs}"
+  done
+}
+
+echo "=== Release build ==="
+cmake -B "${repo_root}/build" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${repo_root}/build" -j"${jobs}"
+run_suites "${repo_root}/build"
+
+echo "=== ASan+UBSan build ==="
+cmake -B "${repo_root}/build-asan" -S "${repo_root}" -DMS_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${repo_root}/build-asan" -j"${jobs}"
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+run_suites "${repo_root}/build-asan"
+
+echo "CI: all suites green (Release + sanitizers)"

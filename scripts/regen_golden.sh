@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate the golden-vector fixtures under tests/golden/ from the live
+# PHY code.  Run this ONLY after an intentional waveform change, then
+# review the fixture diff (`git diff tests/golden`) before committing —
+# a surprise diff means the on-air waveform drifted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target golden_gen -j "$(nproc)"
+"$BUILD_DIR"/tests/golden_gen tests/golden
+echo "Review with: git diff tests/golden"

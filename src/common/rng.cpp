@@ -18,7 +18,7 @@ std::uint64_t splitmix64(std::uint64_t& x) {
 std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);
 }
@@ -89,5 +89,21 @@ Bytes Rng::bytes(std::size_t n) {
 }
 
 Rng Rng::fork() { return Rng((*this)()); }
+
+Rng Rng::fork(std::uint64_t point, std::uint64_t trial) const {
+  // Hash (seed, point, trial) through three chained splitmix64 rounds.
+  // Each round absorbs one input into the accumulator, so distinct grid
+  // cells land on distinct 64-bit child seeds (up to a ~2^-64 birthday
+  // chance, see tests/property/rng_property_test.cpp).  The odd
+  // constants domain-separate the point and trial counters from each
+  // other and from the plain Rng(seed) construction.
+  std::uint64_t x = seed_;
+  std::uint64_t h = splitmix64(x);
+  x ^= point ^ 0xa0761d6478bd642full;
+  h ^= splitmix64(x);
+  x ^= trial ^ 0xe7037ed1a0b428dbull;
+  h ^= splitmix64(x);
+  return Rng(h);
+}
 
 }  // namespace ms

@@ -44,9 +44,23 @@ class Rng {
   Bytes bytes(std::size_t n);
 
   /// Derive an independent child generator (for per-trial streams).
+  /// Advances this generator's state; successive calls yield different
+  /// children.
   Rng fork();
 
+  /// Counter-based stream derivation for parallel sweeps: the child seed
+  /// is a hash of (construction seed, point, trial), so the stream for a
+  /// given grid cell depends only on those three numbers — never on how
+  /// many sibling streams were forked, in what order, or from which
+  /// thread.  Does NOT advance this generator's state.
+  Rng fork(std::uint64_t point, std::uint64_t trial) const;
+
+  /// The seed this generator was constructed with (identifies the
+  /// master stream a forked child derives from).
+  std::uint64_t seed() const { return seed_; }
+
  private:
+  std::uint64_t seed_ = 0;
   std::uint64_t s_[4];
   double spare_ = 0.0;
   bool has_spare_ = false;

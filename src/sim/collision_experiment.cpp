@@ -78,4 +78,14 @@ CollisionResult run_collision(const CollisionSetup& setup,
   return r;
 }
 
+std::vector<CollisionResult> run_collision_sweep(
+    const CollisionSetup& setup, const BackscatterLink& link,
+    std::span<const double> distances, const RunnerConfig& runner_cfg) {
+  TrialRunner runner(runner_cfg);
+  return runner.map_points(
+      distances.size(), [&](std::size_t i, Rng&) -> CollisionResult {
+        return run_collision(setup, link, distances[i]);
+      });
+}
+
 }  // namespace ms

@@ -8,8 +8,12 @@
 // still separates the packets and neither flow suffers much.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "core/overlay/throughput.h"
 #include "sim/excitation.h"
+#include "sim/runner/trial_runner.h"
 
 namespace ms {
 
@@ -46,5 +50,11 @@ CollisionSetup fig16_frequency_collision();
 
 CollisionResult run_collision(const CollisionSetup& setup,
                               const BackscatterLink& link, double distance_m);
+
+/// Distance fan-out on the trial engine: one task per distance, results
+/// in input order (byte-identical at any thread count).
+std::vector<CollisionResult> run_collision_sweep(
+    const CollisionSetup& setup, const BackscatterLink& link,
+    std::span<const double> distances, const RunnerConfig& runner = {});
 
 }  // namespace ms

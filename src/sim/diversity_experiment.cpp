@@ -2,39 +2,69 @@
 
 namespace ms {
 
-DiversityResult run_discontinuous_excitations(const BackscatterLink& link,
-                                              double distance_m,
-                                              double duration_s, double slot_s,
-                                              std::uint64_t seed) {
-  Rng rng(seed);
-  TagControllerConfig multi_cfg;
-  multi_cfg.multiprotocol = true;
-  TagControllerConfig single_cfg;
-  single_cfg.multiprotocol = false;
-  single_cfg.only_protocol = Protocol::WifiB;
-  TagController multi(multi_cfg, link);
-  TagController single(single_cfg, link);
+namespace {
+
+/// One tag variant's full timeline (slots are sequential: the
+/// controller carries adaptation state from slot to slot).
+struct VariantRun {
+  std::vector<double> kbps_per_slot;
+  double busy_fraction = 0.0;
+  double mean_kbps = 0.0;
+};
+
+VariantRun run_variant_timeline(bool multiprotocol,
+                                const BackscatterLink& link,
+                                double distance_m, double duration_s,
+                                double slot_s, Rng& rng) {
+  TagControllerConfig cfg;
+  cfg.multiprotocol = multiprotocol;
+  if (!multiprotocol) cfg.only_protocol = Protocol::WifiB;
+  TagController tag(cfg, link);
 
   const ExcitationSpec wifi_b = fig12_excitation(Protocol::WifiB);
   const ExcitationSpec wifi_n = fig12_excitation(Protocol::WifiN);
   const double period_s = 10.0;  // 5 s of 802.11b, then 5 s of 802.11n
 
-  DiversityResult out;
+  VariantRun out;
   for (double t = 0.0; t < duration_s; t += slot_s) {
     const bool b_phase = std::fmod(t, period_s) < period_s / 2.0;
     const ExcitationSpec& active = b_phase ? wifi_b : wifi_n;
     const std::array<ExcitationSpec, 1> on_air = {active};
-
-    const auto mr = multi.step(on_air, distance_m, rng);
-    const auto sr = single.step(on_air, distance_m, rng);
-    out.timeline.push_back(
-        {t, mr.tag_bps / 1e3 + mr.productive_bps / 1e3,
-         sr.tag_bps / 1e3 + sr.productive_bps / 1e3});
+    const auto r = tag.step(on_air, distance_m, rng);
+    out.kbps_per_slot.push_back(r.tag_bps / 1e3 + r.productive_bps / 1e3);
   }
-  out.multiscatter_busy_fraction = multi.busy_fraction();
-  out.single_busy_fraction = single.busy_fraction();
-  out.multiscatter_mean_kbps = multi.mean_tag_bps() / 1e3;
-  out.single_mean_kbps = single.mean_tag_bps() / 1e3;
+  out.busy_fraction = tag.busy_fraction();
+  out.mean_kbps = tag.mean_tag_bps() / 1e3;
+  return out;
+}
+
+}  // namespace
+
+DiversityResult run_discontinuous_excitations(const BackscatterLink& link,
+                                              double distance_m,
+                                              double duration_s, double slot_s,
+                                              std::uint64_t seed,
+                                              std::size_t threads) {
+  // Two grid points — the multiscatter tag and the 802.11b-only tag —
+  // each on its own (seed, variant, 0) stream, merged in variant order.
+  TrialRunner runner({threads, seed});
+  const auto variants =
+      runner.map_points(2, [&](std::size_t point, Rng& rng) -> VariantRun {
+        return run_variant_timeline(/*multiprotocol=*/point == 0, link,
+                                    distance_m, duration_s, slot_s, rng);
+      });
+
+  DiversityResult out;
+  const VariantRun& multi = variants[0];
+  const VariantRun& single = variants[1];
+  for (std::size_t i = 0; i < multi.kbps_per_slot.size(); ++i)
+    out.timeline.push_back({slot_s * static_cast<double>(i),
+                            multi.kbps_per_slot[i],
+                            single.kbps_per_slot[i]});
+  out.multiscatter_busy_fraction = multi.busy_fraction;
+  out.single_busy_fraction = single.busy_fraction;
+  out.multiscatter_mean_kbps = multi.mean_kbps;
+  out.single_mean_kbps = single.mean_kbps;
   return out;
 }
 

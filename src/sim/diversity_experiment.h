@@ -13,6 +13,7 @@
 
 #include "core/tag/controller.h"
 #include "sim/excitation.h"
+#include "sim/runner/trial_runner.h"
 
 namespace ms {
 
@@ -30,12 +31,17 @@ struct DiversityResult {
   double single_mean_kbps = 0.0;
 };
 
-/// Fig 18a: alternating 802.11b / 802.11n excitation periods.
+/// Fig 18a: alternating 802.11b / 802.11n excitation periods.  The two
+/// tag variants (multiscatter, 802.11b-only) run as independent trial
+/// tasks on the engine, each on its own counter-based stream; slots
+/// within a variant stay sequential because the controller carries
+/// state across them.
 DiversityResult run_discontinuous_excitations(const BackscatterLink& link,
                                               double distance_m,
                                               double duration_s = 60.0,
                                               double slot_s = 0.5,
-                                              std::uint64_t seed = 7);
+                                              std::uint64_t seed = 7,
+                                              std::size_t threads = 0);
 
 struct CarrierPickResult {
   Protocol picked = Protocol::WifiB;

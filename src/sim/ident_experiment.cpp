@@ -129,18 +129,20 @@ Samples make_ident_trace(Protocol p, const IdentTrialConfig& cfg, Rng& rng) {
 IdentResult run_ident_experiment(const IdentTrialConfig& cfg,
                                  std::size_t trials_per_protocol) {
   const ProtocolIdentifier identifier(cfg.ident);
-  Rng rng(cfg.seed);
-  IdentResult result;
-  for (Protocol p : kAllProtocols) {
-    const std::size_t ti = protocol_index(p);
-    for (std::size_t t = 0; t < trials_per_protocol; ++t) {
-      const Samples trace = make_ident_trace(p, cfg, rng);
-      const auto detected = identifier.identify(trace);
-      const std::size_t di = detected ? protocol_index(*detected) : 4;
-      ++result.confusion[ti][di];
-    }
-  }
-  return result;
+  TrialRunner runner({cfg.threads, cfg.seed});
+  // Grid: point = true protocol, trial = Monte-Carlo repetition.  Each
+  // cell returns the detected column; the confusion tallies merge in
+  // fixed grid order, so the result is identical at any thread count.
+  return runner.run_reduce(
+      kAllProtocols.size(), trials_per_protocol, IdentResult{},
+      [&](std::size_t point, std::size_t, Rng& rng) -> std::size_t {
+        const Protocol p = kAllProtocols[point];
+        const Samples trace = make_ident_trace(p, cfg, rng);
+        const auto detected = identifier.identify(trace);
+        return detected ? protocol_index(*detected) : 4;
+      },
+      [](IdentResult& acc, std::size_t point, std::size_t,
+         std::size_t detected) { ++acc.confusion[point][detected]; });
 }
 
 namespace {
@@ -154,57 +156,74 @@ std::vector<CalTrial> collect_calibration_trials(
     IdentTrialConfig cfg, std::size_t trials_per_protocol) {
   cfg.ident.decision = DecisionMode::Ordered;
   const ProtocolIdentifier identifier(cfg.ident);
-  Rng rng(cfg.seed ^ 0xc0ffee);
-  std::vector<CalTrial> trials;
-  trials.reserve(4 * trials_per_protocol);
-  for (Protocol p : kAllProtocols)
-    for (std::size_t t = 0; t < trials_per_protocol; ++t)
-      trials.push_back({protocol_index(p),
-                        identifier.scores(make_ident_trace(p, cfg, rng))});
-  return trials;
+  TrialRunner runner({cfg.threads, cfg.seed ^ 0xc0ffee});
+  // run_grid returns the trials already in (protocol, trial) order.
+  return runner.run_grid(
+      kAllProtocols.size(), trials_per_protocol,
+      [&](std::size_t point, std::size_t, Rng& rng) -> CalTrial {
+        const Protocol p = kAllProtocols[point];
+        return {point, identifier.scores(make_ident_trace(p, cfg, rng))};
+      });
 }
 
-/// Grid-search per-protocol thresholds for one fixed matching order.
-double search_thresholds(const std::vector<CalTrial>& trials,
-                         const std::array<Protocol, 4>& order,
-                         std::array<double, 4>& best_thr) {
-  static constexpr std::array<double, 12> kGrid = {
-      0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.60, 0.70, 0.80, 0.90};
-  double best_acc = -1.0;
-  for (double t0 : kGrid)
-    for (double t1 : kGrid)
-      for (double t2 : kGrid)
-        for (double t3 : kGrid) {
-          std::array<double, 4> thr{};
-          thr[protocol_index(order[0])] = t0;
-          thr[protocol_index(order[1])] = t1;
-          thr[protocol_index(order[2])] = t2;
-          thr[protocol_index(order[3])] = t3;
-          std::array<std::size_t, 4> correct{}, total{};
-          for (const CalTrial& tr : trials) {
-            std::size_t det = 4;
-            for (Protocol p : order) {
-              const std::size_t idx = protocol_index(p);
-              if (tr.scores[idx] > thr[idx]) {
-                det = idx;
-                break;
-              }
+constexpr std::array<double, 12> kThresholdGrid = {
+    0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.60, 0.70, 0.80, 0.90};
+
+struct ThresholdSearch {
+  double acc = -1.0;
+  std::array<double, 4> thr{};
+};
+
+/// Scan (t1, t2, t3) for one fixed outer threshold t0 and matching order.
+ThresholdSearch search_inner(const std::vector<CalTrial>& trials,
+                             const std::array<Protocol, 4>& order,
+                             double t0) {
+  ThresholdSearch best;
+  for (double t1 : kThresholdGrid)
+    for (double t2 : kThresholdGrid)
+      for (double t3 : kThresholdGrid) {
+        std::array<double, 4> thr{};
+        thr[protocol_index(order[0])] = t0;
+        thr[protocol_index(order[1])] = t1;
+        thr[protocol_index(order[2])] = t2;
+        thr[protocol_index(order[3])] = t3;
+        std::array<std::size_t, 4> correct{}, total{};
+        for (const CalTrial& tr : trials) {
+          std::size_t det = 4;
+          for (Protocol p : order) {
+            const std::size_t idx = protocol_index(p);
+            if (tr.scores[idx] > thr[idx]) {
+              det = idx;
+              break;
             }
-            ++total[tr.truth];
-            if (det == tr.truth) ++correct[tr.truth];
           }
-          double acc = 0.0;
-          for (std::size_t i = 0; i < 4; ++i)
-            acc += total[i] ? static_cast<double>(correct[i]) /
-                                  static_cast<double>(total[i])
-                            : 0.0;
-          acc /= 4.0;
-          if (acc > best_acc) {
-            best_acc = acc;
-            best_thr = thr;
-          }
+          ++total[tr.truth];
+          if (det == tr.truth) ++correct[tr.truth];
         }
-  return best_acc;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < 4; ++i)
+          acc += total[i] ? static_cast<double>(correct[i]) /
+                                static_cast<double>(total[i])
+                          : 0.0;
+        acc /= 4.0;
+        if (acc > best.acc) {
+          best.acc = acc;
+          best.thr = thr;
+        }
+      }
+  return best;
+}
+
+/// Full grid search for one matching order (serial; callers parallelize
+/// one level up so the pool is never entered twice).
+ThresholdSearch search_thresholds(const std::vector<CalTrial>& trials,
+                                  const std::array<Protocol, 4>& order) {
+  ThresholdSearch best;
+  for (double t0 : kThresholdGrid) {
+    const ThresholdSearch s = search_inner(trials, order, t0);
+    if (s.acc > best.acc) best = s;
+  }
+  return best;
 }
 
 }  // namespace
@@ -213,33 +232,49 @@ std::array<double, 4> calibrate_thresholds(IdentTrialConfig cfg,
                                            std::size_t trials_per_protocol) {
   const std::vector<CalTrial> trials =
       collect_calibration_trials(cfg, trials_per_protocol);
-  std::array<double, 4> thr = cfg.ident.thresholds;
-  search_thresholds(trials, cfg.ident.order, thr);
-  return thr;
+  // Fan the outermost threshold loop out across the pool; the argmax
+  // merge walks the grid in its serial iteration order, so ties resolve
+  // exactly as the single-threaded loop did.
+  TrialRunner runner({cfg.threads, cfg.seed});
+  const auto partials = runner.map_points(
+      kThresholdGrid.size(), [&](std::size_t i, Rng&) -> ThresholdSearch {
+        return search_inner(trials, cfg.ident.order, kThresholdGrid[i]);
+      });
+  ThresholdSearch best;
+  for (const ThresholdSearch& s : partials)
+    if (s.acc > best.acc) best = s;
+  return best.acc >= 0.0 ? best.thr : cfg.ident.thresholds;
 }
 
 OrderedCalibration calibrate_ordered_matching(
     IdentTrialConfig cfg, std::size_t trials_per_protocol) {
   const std::vector<CalTrial> trials =
       collect_calibration_trials(cfg, trials_per_protocol);
-  OrderedCalibration best;
-  best.calibration_accuracy = -1.0;
-  std::array<Protocol, 4> order = kAllProtocols;
-  std::sort(order.begin(), order.end());
-  // All 24 permutations × the full threshold grid (§2.3.2's brute force).
+  // All 24 permutations × the full threshold grid (§2.3.2's brute
+  // force), one task per matching order.  Merging in permutation order
+  // reproduces the serial next_permutation scan byte for byte.
+  std::vector<std::array<Protocol, 4>> orders;
   std::array<std::size_t, 4> perm = {0, 1, 2, 3};
   do {
-    std::array<Protocol, 4> candidate = {
-        kAllProtocols[perm[0]], kAllProtocols[perm[1]],
-        kAllProtocols[perm[2]], kAllProtocols[perm[3]]};
-    std::array<double, 4> thr{};
-    const double acc = search_thresholds(trials, candidate, thr);
-    if (acc > best.calibration_accuracy) {
-      best.calibration_accuracy = acc;
-      best.order = candidate;
-      best.thresholds = thr;
-    }
+    orders.push_back({kAllProtocols[perm[0]], kAllProtocols[perm[1]],
+                      kAllProtocols[perm[2]], kAllProtocols[perm[3]]});
   } while (std::next_permutation(perm.begin(), perm.end()));
+
+  TrialRunner runner({cfg.threads, cfg.seed});
+  const auto searched = runner.map_points(
+      orders.size(), [&](std::size_t i, Rng&) -> ThresholdSearch {
+        return search_thresholds(trials, orders[i]);
+      });
+
+  OrderedCalibration best;
+  best.calibration_accuracy = -1.0;
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    if (searched[i].acc > best.calibration_accuracy) {
+      best.calibration_accuracy = searched[i].acc;
+      best.order = orders[i];
+      best.thresholds = searched[i].thr;
+    }
+  }
   return best;
 }
 

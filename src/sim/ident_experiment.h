@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "core/ident/identifier.h"
 #include "sim/faults/fault_injector.h"
+#include "sim/runner/trial_runner.h"
 
 namespace ms {
 
@@ -37,6 +38,11 @@ struct IdentTrialConfig {
   /// zero, which draws exactly the seed model's Rng stream.
   FaultConfig faults;
   std::uint64_t seed = 1;
+  /// Trial-engine worker threads (0 = all cores).  Results are
+  /// byte-identical for any value: every trial draws from its own
+  /// counter-based (seed, protocol, trial) stream and tallies merge in
+  /// fixed grid order.
+  std::size_t threads = 0;
 };
 
 struct IdentResult {

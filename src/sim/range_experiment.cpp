@@ -21,8 +21,13 @@ RangeSweepConfig nlos_sweep_config() {
 std::vector<RangePoint> range_sweep(Protocol p, const RangeSweepConfig& cfg) {
   const ExcitationSpec exc = fig12_excitation(p);
   const OverlayParams params = mode_params(p, cfg.mode);
-  std::vector<RangePoint> out;
-  for (double d = cfg.step_m; d <= cfg.max_distance_m + 1e-9; d += cfg.step_m) {
+  // Distance grid, fanned out one point per task; the output vector is
+  // assembled in distance order regardless of scheduling.
+  const std::size_t n_points = static_cast<std::size_t>(
+      (cfg.max_distance_m + 1e-9) / cfg.step_m);
+  TrialRunner runner({cfg.threads, 0});
+  return runner.map_points(n_points, [&](std::size_t i, Rng&) -> RangePoint {
+    const double d = cfg.step_m * static_cast<double>(i + 1);
     RangePoint pt;
     pt.distance_m = d;
     pt.rssi_dbm = cfg.link.rssi_dbm(d);
@@ -40,9 +45,8 @@ std::vector<RangePoint> range_sweep(Protocol p, const RangeSweepConfig& cfg) {
         per < 0.9;
     const Throughput t = overlay_throughput_at(exc, params, cfg.link, d);
     pt.aggregate_kbps = pt.decodable ? t.aggregate_bps() / 1e3 : 0.0;
-    out.push_back(pt);
-  }
-  return out;
+    return pt;
+  });
 }
 
 double max_range_m(Protocol p, const RangeSweepConfig& cfg) {

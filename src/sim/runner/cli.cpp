@@ -1,0 +1,100 @@
+#include "sim/runner/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ms {
+
+namespace {
+
+/// Parse a non-negative integer; returns false on garbage or overflow.
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    if (v > (~0ull - d) / 10) return false;
+    v = v * 10 + d;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> parse_cli(int argc, const char* const* argv,
+                                     CliOptions& opts) {
+  bool have_positional = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      (void)flag;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--threads") {
+      const auto v = value("--threads");
+      std::uint64_t n = 0;
+      if (!v || !parse_u64(*v, n))
+        return "--threads expects a non-negative integer";
+      opts.threads = static_cast<std::size_t>(n);
+    } else if (arg == "--trials") {
+      const auto v = value("--trials");
+      std::uint64_t n = 0;
+      if (!v || !parse_u64(*v, n) || n == 0)
+        return "--trials expects a positive integer";
+      opts.trials = static_cast<std::size_t>(n);
+    } else if (arg == "--seed") {
+      const auto v = value("--seed");
+      std::uint64_t n = 0;
+      if (!v || !parse_u64(*v, n))
+        return "--seed expects a non-negative integer";
+      opts.seed = n;
+    } else if (arg == "--out") {
+      const auto v = value("--out");
+      if (!v) return "--out expects a directory";
+      opts.out_dir = *v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return "unknown flag: " + arg;
+    } else {
+      // Legacy "bench OUTDIR" form.
+      if (have_positional) return "unexpected argument: " + arg;
+      have_positional = true;
+      opts.out_dir = arg;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string cli_usage(const char* prog) {
+  std::string u = "usage: ";
+  u += prog;
+  u +=
+      " [--threads N] [--trials N] [--seed S] [--out DIR]\n"
+      "  --threads N   trial-engine worker threads (default: all cores)\n"
+      "  --trials N    override the default trial count\n"
+      "  --seed S      override the default master seed\n"
+      "  --out DIR     dump CSVs into DIR (must exist)\n"
+      "  --help        show this message\n";
+  return u;
+}
+
+CliOptions parse_cli_or_exit(int argc, const char* const* argv) {
+  CliOptions opts;
+  const auto err = parse_cli(argc, argv, opts);
+  if (err) {
+    std::fprintf(stderr, "error: %s\n%s", err->c_str(),
+                 cli_usage(argv[0]).c_str());
+    std::exit(2);
+  }
+  if (opts.help) {
+    std::fprintf(stdout, "%s", cli_usage(argv[0]).c_str());
+    std::exit(0);
+  }
+  return opts;
+}
+
+}  // namespace ms

@@ -1,0 +1,42 @@
+// Flag parsing shared by the experiment/bench CLIs.
+//
+// Every ported bench accepts the same small vocabulary:
+//   --threads N   worker threads for the trial engine (0 = all cores)
+//   --trials N    override the bench's default trial count
+//   --out DIR     dump CSVs into DIR (must exist)
+//   --seed S      override the bench's master seed
+//   --help        print usage and exit 0
+// plus, for backward compatibility with the original benches, a single
+// bare positional argument which is treated as --out.  Anything else is
+// an error: parse_cli reports it and parse_cli_or_exit prints the usage
+// message and exits nonzero instead of silently ignoring the flag.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ms {
+
+struct CliOptions {
+  std::size_t threads = 0;    ///< 0 = ThreadPool::hardware_threads()
+  std::size_t trials = 0;     ///< 0 = use the bench's default
+  std::uint64_t seed = 0;     ///< 0 = use the bench's default
+  std::string out_dir;        ///< empty = no CSV dump
+  bool help = false;
+};
+
+/// Parse argv into opts.  Returns an error message on an unknown flag,
+/// a missing/invalid value, or a second positional; nullopt on success.
+std::optional<std::string> parse_cli(int argc, const char* const* argv,
+                                     CliOptions& opts);
+
+/// Usage text for the shared flag vocabulary.
+std::string cli_usage(const char* prog);
+
+/// parse_cli wrapper for bench main()s: on error prints the message and
+/// usage to stderr and exits 2; on --help prints usage and exits 0.
+CliOptions parse_cli_or_exit(int argc, const char* const* argv);
+
+}  // namespace ms

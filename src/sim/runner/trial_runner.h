@@ -1,0 +1,83 @@
+// Deterministic parallel Monte-Carlo engine.
+//
+// A sweep is a (parameter-point × trial) grid.  TrialRunner fans the
+// grid out across a work-stealing ThreadPool as independent tasks; each
+// task draws from a counter-based RNG stream derived from
+// (master_seed, point_index, trial_index) via Rng::fork(point, trial),
+// and writes its result into a per-task slot.  Reductions then walk the
+// slots in fixed row-major (point, trial) order.  Together these two
+// rules make every sweep byte-identical regardless of thread count or
+// scheduling order — see docs/RUNNER.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/runner/thread_pool.h"
+
+namespace ms {
+
+struct RunnerConfig {
+  std::size_t threads = 0;        ///< 0 = ThreadPool::hardware_threads()
+  std::uint64_t master_seed = 1;  ///< root of every per-trial stream
+};
+
+class TrialRunner {
+ public:
+  explicit TrialRunner(const RunnerConfig& cfg)
+      : cfg_(cfg), master_(cfg.master_seed), pool_(cfg.threads) {}
+
+  std::size_t threads() const { return pool_.size(); }
+  const RunnerConfig& config() const { return cfg_; }
+
+  /// Run fn(point, trial, rng) for every cell of the grid.  Results come
+  /// back in row-major (point-major) order: out[point * trials + trial].
+  template <typename Fn>
+  auto run_grid(std::size_t points, std::size_t trials, Fn&& fn) {
+    using R = decltype(fn(std::size_t{0}, std::size_t{0},
+                          std::declval<Rng&>()));
+    std::vector<R> out(points * trials);
+    pool_.run_indexed(points * trials, [&](std::size_t i) {
+      const std::size_t point = i / trials;
+      const std::size_t trial = i % trials;
+      Rng rng = master_.fork(point, trial);
+      out[i] = fn(point, trial, rng);
+    });
+    return out;
+  }
+
+  /// Grid fan-out with a fixed-order reduction: after every trial
+  /// completes, merge(acc, point, trial, result) is applied serially in
+  /// row-major grid order — never in completion order.
+  template <typename Acc, typename Fn, typename Merge>
+  Acc run_reduce(std::size_t points, std::size_t trials, Acc acc, Fn&& fn,
+                 Merge&& merge) {
+    auto results = run_grid(points, trials, std::forward<Fn>(fn));
+    for (std::size_t p = 0; p < points; ++p)
+      for (std::size_t t = 0; t < trials; ++t)
+        merge(acc, p, t, results[p * trials + t]);
+    return acc;
+  }
+
+  /// Point-only sweep (one trial per point): fn(point, rng) -> R.
+  template <typename Fn>
+  auto map_points(std::size_t points, Fn&& fn) {
+    using R = decltype(fn(std::size_t{0}, std::declval<Rng&>()));
+    std::vector<R> out(points);
+    pool_.run_indexed(points, [&](std::size_t i) {
+      Rng rng = master_.fork(i, 0);
+      out[i] = fn(i, rng);
+    });
+    return out;
+  }
+
+ private:
+  RunnerConfig cfg_;
+  Rng master_;
+  ThreadPool pool_;
+};
+
+}  // namespace ms

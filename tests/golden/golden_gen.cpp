@@ -1,0 +1,23 @@
+// Regenerate the golden fixtures under tests/golden/.  Run via
+// scripts/regen_golden.sh after an *intentional* waveform change, then
+// review the fixture diff before committing.
+#include <cstdio>
+#include <string>
+
+#include "golden_vectors.h"
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  for (const auto& v : ms::golden::build_all()) {
+    const std::string path = dir + "/" + v.filename;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "golden_gen: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    for (const auto& line : v.lines) std::fprintf(f, "%s\n", line.c_str());
+    std::fclose(f);
+    std::printf("wrote %s (%zu lines)\n", path.c_str(), v.lines.size());
+  }
+  return 0;
+}

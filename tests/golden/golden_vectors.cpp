@@ -1,0 +1,114 @@
+#include "golden_vectors.h"
+
+#include <cstdio>
+
+#include "common/bits.h"
+#include "core/overlay/frame.h"
+#include "dsp/iq.h"
+#include "phy/dsss/barker.h"
+#include "phy/dsss/cck.h"
+#include "phy/whitening.h"
+#include "phy/zigbee/zigbee.h"
+
+namespace ms::golden {
+namespace {
+
+std::string fmt_cf(Cf v) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%a %a", static_cast<double>(v.real()),
+                static_cast<double>(v.imag()));
+  return buf;
+}
+
+void append_iq(std::vector<std::string>& lines, const Iq& iq) {
+  for (Cf v : iq) lines.push_back(fmt_cf(v));
+}
+
+std::string bits_line(const Bits& bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (uint8_t b : bits) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+// 802.11b 1/2 Mbps DSSS: the 11 Barker chips for each DBPSK/DQPSK
+// constellation point.
+Vector barker_vector() {
+  Vector v{"wifi_b_barker_chips.txt", {}};
+  const Cf symbols[] = {{1.f, 0.f}, {0.f, 1.f}, {-1.f, 0.f}, {0.f, -1.f}};
+  for (Cf s : symbols) append_iq(v.lines, barker_spread(s));
+  return v;
+}
+
+// 802.11b CCK: codewords for every 5.5 Mbps data pair (with the DQPSK
+// phase walked through its increments) and four 11 Mbps 6-bit groups.
+Vector cck_vector() {
+  Vector v{"wifi_b_cck_chips.txt", {}};
+  const uint8_t pairs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  double phi1 = 0.0;
+  bool odd = false;
+  for (const auto& p : pairs) {
+    phi1 += dqpsk_increment(p[0], p[1], odd);
+    odd = !odd;
+    double phi2 = 0.0, phi3 = 0.0, phi4 = 0.0;
+    cck_data_phases(p, false, phi2, phi3, phi4);
+    append_iq(v.lines, cck_codeword(phi1, phi2, phi3, phi4));
+  }
+  const uint8_t groups[4][6] = {{0, 0, 0, 0, 0, 0},
+                                {1, 0, 1, 0, 1, 0},
+                                {1, 1, 0, 0, 1, 1},
+                                {1, 1, 1, 1, 1, 1}};
+  for (const auto& g : groups) {
+    double phi2 = 0.0, phi3 = 0.0, phi4 = 0.0;
+    cck_data_phases(g, true, phi2, phi3, phi4);
+    append_iq(v.lines, cck_codeword(0.0, phi2, phi3, phi4));
+  }
+  return v;
+}
+
+// BLE whitening: a fixed payload whitened on the advertising channel 37
+// and on data channel 8.  One line per channel.
+Vector ble_vector() {
+  Vector v{"ble_whitened_payload.txt", {}};
+  const Bytes payload = {'m', 'u', 'l', 't', 'i', 's', 'c', 'a',
+                         't', 't', 'e', 'r', 0x00, 0x55, 0xaa, 0xff};
+  const Bits bits = bytes_to_bits_lsb(payload);
+  v.lines.push_back(bits_line(ble_whiten(bits, 37)));
+  v.lines.push_back(bits_line(ble_whiten(bits, 8)));
+  return v;
+}
+
+// ZigBee: the 16-entry PN table, then the OQPSK waveform of the symbol
+// sequence {0x0, 0x5, 0xA, 0xF} at 4 samples/chip.
+Vector zigbee_vector() {
+  Vector v{"zigbee_chip_waveform.txt", {}};
+  for (std::uint32_t pn : zigbee_pn_table()) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%08x", pn);
+    v.lines.push_back(buf);
+  }
+  const ZigbeePhy phy;
+  const uint8_t symbols[] = {0x0, 0x5, 0xA, 0xF};
+  append_iq(v.lines, phy.modulate_symbols(symbols));
+  return v;
+}
+
+// Overlay framing: the serialized bit stream of two representative tag
+// frames (header + payload + CRC-8, LSB-first).
+Vector overlay_vector() {
+  Vector v{"overlay_frame_bits.txt", {}};
+  const TagFrame a{5, 2, true, Bytes{'s', 'e', 'n', 's', 'o', 'r'}};
+  const TagFrame b{15, 9, false, Bytes{0x00, 0x01, 0x7f, 0x80, 0xff}};
+  v.lines.push_back(bits_line(a.to_bits()));
+  v.lines.push_back(bits_line(b.to_bits()));
+  return v;
+}
+
+}  // namespace
+
+std::vector<Vector> build_all() {
+  return {barker_vector(), cck_vector(), ble_vector(), zigbee_vector(),
+          overlay_vector()};
+}
+
+}  // namespace ms::golden

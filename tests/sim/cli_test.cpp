@@ -1,0 +1,95 @@
+// The shared bench/experiment flag parser: valid vocabulary parses,
+// everything else is an error (the seed silently ignored unknown flags).
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/runner/cli.h"
+
+namespace ms {
+namespace {
+
+std::optional<std::string> parse(std::vector<const char*> argv,
+                                 CliOptions& opts) {
+  argv.insert(argv.begin(), "bench");
+  return parse_cli(static_cast<int>(argv.size()), argv.data(), opts);
+}
+
+TEST(Cli, DefaultsWithNoArguments) {
+  CliOptions o;
+  EXPECT_FALSE(parse({}, o).has_value());
+  EXPECT_EQ(o.threads, 0u);
+  EXPECT_EQ(o.trials, 0u);
+  EXPECT_EQ(o.seed, 0u);
+  EXPECT_TRUE(o.out_dir.empty());
+  EXPECT_FALSE(o.help);
+}
+
+TEST(Cli, ParsesFullVocabulary) {
+  CliOptions o;
+  EXPECT_FALSE(parse({"--threads", "4", "--trials", "200", "--seed", "99",
+                      "--out", "/tmp/results"},
+                     o)
+                   .has_value());
+  EXPECT_EQ(o.threads, 4u);
+  EXPECT_EQ(o.trials, 200u);
+  EXPECT_EQ(o.seed, 99u);
+  EXPECT_EQ(o.out_dir, "/tmp/results");
+}
+
+TEST(Cli, BarePositionalIsOutDir) {
+  // Legacy form used by reproduce.sh: `bench OUTDIR`.
+  CliOptions o;
+  EXPECT_FALSE(parse({"results"}, o).has_value());
+  EXPECT_EQ(o.out_dir, "results");
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  CliOptions o;
+  const auto err = parse({"--bogus"}, o);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("--bogus"), std::string::npos)
+      << "error message should name the offending flag: " << *err;
+}
+
+TEST(Cli, RejectsUnknownFlagAmongValidOnes) {
+  CliOptions o;
+  EXPECT_TRUE(parse({"--threads", "2", "--verbose"}, o).has_value());
+}
+
+TEST(Cli, RejectsMissingValue) {
+  CliOptions o;
+  EXPECT_TRUE(parse({"--threads"}, o).has_value());
+  EXPECT_TRUE(parse({"--out"}, o).has_value());
+}
+
+TEST(Cli, RejectsNonNumericValue) {
+  CliOptions o;
+  EXPECT_TRUE(parse({"--threads", "many"}, o).has_value());
+  EXPECT_TRUE(parse({"--seed", "0x12"}, o).has_value());
+  EXPECT_TRUE(parse({"--trials", "12.5"}, o).has_value());
+}
+
+TEST(Cli, RejectsSecondPositional) {
+  CliOptions o;
+  EXPECT_TRUE(parse({"outdir", "extra"}, o).has_value());
+}
+
+TEST(Cli, HelpFlag) {
+  CliOptions o;
+  EXPECT_FALSE(parse({"--help"}, o).has_value());
+  EXPECT_TRUE(o.help);
+}
+
+TEST(Cli, UsageNamesEveryFlag) {
+  const std::string usage = cli_usage("bench_x");
+  for (const char* flag :
+       {"--threads", "--trials", "--seed", "--out", "--help"})
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  EXPECT_NE(usage.find("bench_x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ms

@@ -7,9 +7,11 @@ namespace {
 
 TEST(Diversity, MultiscatterTransmitsThroughCarrierGaps) {
   // Fig 18a: the multiscatter tag is busy ~always; the single-protocol
-  // 802.11b tag idles through the 802.11n half of each period.
+  // 802.11b tag idles through the 802.11n half of each period.  The
+  // mean-throughput comparison uses a 400 s horizon so the structural
+  // advantage dominates slot-level channel-sensing noise.
   const BackscatterLink link;
-  const DiversityResult r = run_discontinuous_excitations(link, 4.0);
+  const DiversityResult r = run_discontinuous_excitations(link, 4.0, 400.0);
   EXPECT_GT(r.multiscatter_busy_fraction, 0.85);
   EXPECT_NEAR(r.single_busy_fraction, 0.5, 0.1);
   EXPECT_GT(r.multiscatter_mean_kbps, r.single_mean_kbps);
