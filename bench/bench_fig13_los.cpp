@@ -50,5 +50,5 @@ int main(int argc, char** argv) {
     std::printf("    %-10s %5.1f m\n", std::string(protocol_name(p)).c_str(),
                 max_range_m(p, cfg));
   bench::note("paper: WiFi 28 m, ZigBee 22 m, BLE 20 m; low BER out to 16 m");
-  return 0;
+  return finish_bench_output(opt) ? 0 : 1;
 }

@@ -56,5 +56,5 @@ int main(int argc, char** argv) {
                 max_range_m(p, los));
   bench::note("paper: NLoS 22/18/16 m for WiFi/ZigBee/BLE — uniformly below"
               " the LoS 28/22/20 m");
-  return 0;
+  return finish_bench_output(opt) ? 0 : 1;
 }

@@ -37,5 +37,5 @@ int main(int argc, char** argv) {
               " Hitchhike 94; FreeRider 33");
   bench::note("multiscatter does not use the original channel at all, so"
               " the wall is irrelevant to it");
-  return 0;
+  return finish_bench_output(opt) ? 0 : 1;
 }

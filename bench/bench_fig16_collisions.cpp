@@ -78,5 +78,5 @@ int main(int argc, char** argv) {
     dump_sweep(opt.out_dir, "fig16_frequency_collision.csv",
                fig16_frequency_collision(), rc);
   }
-  return 0;
+  return finish_bench_output(opt) ? 0 : 1;
 }

@@ -62,5 +62,5 @@ int main(int argc, char** argv) {
               pick.single_meets_goal ? "met" : "MISSED");
   bench::note("paper: multiscatter selects 802.11n and meets the goal; the"
               " 802.11b tag cannot");
-  return 0;
+  return finish_bench_output(opt) ? 0 : 1;
 }

@@ -87,5 +87,5 @@ int main(int argc, char** argv) {
     dump_confusion(opt.out_dir, "fig7_blind_confusion.csv", blind);
     dump_confusion(opt.out_dir, "fig7_ordered_confusion.csv", ordered);
   }
-  return 0;
+  return finish_bench_output(opt) ? 0 : 1;
 }

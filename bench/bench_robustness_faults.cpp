@@ -14,7 +14,9 @@
 // value.  --out DIR (or a bare directory argument) additionally dumps
 // each sweep as CSV.
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -111,6 +113,23 @@ void dump_rows(const char* dir, const char* file, const char* xname,
   const std::vector<CsvColumn> cols = {x,  ga, da, ra, gamma,
                                        reps, gf, df, gb, db};
   save_csv(std::string(dir) + "/" + file, cols);
+}
+
+/// Legend for the sweep CSVs: maps each variant column prefix to a
+/// human-readable description.  The descriptions contain commas, so the
+/// fields go through bench::csv_field (RFC 4180 quoting).
+void dump_variant_legend(const std::string& dir) {
+  std::ofstream f(dir + "/faults_variants.csv");
+  if (!f.is_open()) return;
+  f << "variant,description\n";
+  const std::pair<const char*, const char*> rows[] = {
+      {"arq_adaptive",
+       "stop-and-wait ARQ, NACK-driven (gamma, FEC) ladder adaptation"},
+      {"arq_fixed", "stop-and-wait ARQ, fixed protection level"},
+      {"no_arq", "seed path: send once, no ACK, no retry"},
+  };
+  for (const auto& [variant, desc] : rows)
+    f << bench::csv_field(variant) << ',' << bench::csv_field(desc) << '\n';
 }
 
 double ident_accuracy(const FaultConfig& faults, std::size_t threads) {
@@ -212,6 +231,7 @@ int main(int argc, char** argv) {
     dump_rows(dir, "faults_base_snr.csv", "base_snr_db", snr_rows);
     const std::vector<CsvColumn> ident_cols = {ix, ic, io, ib, it};
     save_csv(opt.out_dir + "/faults_identification.csv", ident_cols);
+    dump_variant_legend(opt.out_dir);
   }
 
   bench::rule();
@@ -220,5 +240,5 @@ int main(int argc, char** argv) {
               " loses whole readings to single-frame holes; under deep"
               " fades the NACK-driven (gamma, FEC) step-up keeps frames"
               " decodable where fixed protection stalls in retries");
-  return 0;
+  return finish_bench_output(opt) ? 0 : 1;
 }

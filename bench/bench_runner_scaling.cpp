@@ -4,6 +4,7 @@
 // runner_scaling.csv when --out DIR is given.  --trials overrides the
 // per-protocol trial count (default 60).
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -41,8 +42,10 @@ int main(int argc, char** argv) {
   double t1 = 0.0;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     cfg.threads = threads;
+    TrialRunner runner({cfg.threads, cfg.seed});
+    runner.pool().reset_worker_stats();
     const auto start = std::chrono::steady_clock::now();
-    const IdentResult r = run_ident_experiment(cfg, trials);
+    const IdentResult r = run_ident_experiment(runner, cfg, trials);
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -53,6 +56,25 @@ int main(int argc, char** argv) {
     const bool identical = r.confusion == reference.confusion;
     std::printf("  %-8zu %10.3f %12.1f %9.2fx %8s\n", threads, secs,
                 total_trials / secs, t1 / secs, identical ? "yes" : "NO");
+
+    // Scheduling breakdown (nondeterministic by nature — printed, never
+    // fed into the deterministic metrics registry).
+    const auto stats = runner.pool().worker_stats();
+    std::uint64_t busy_sum = 0;
+    std::printf("           worker   tasks  steals   busy_ms\n");
+    for (std::size_t w = 0; w < stats.size(); ++w) {
+      busy_sum += stats[w].busy_ns;
+      std::printf("           %-8zu %6llu %7llu %9.1f\n", w,
+                  static_cast<unsigned long long>(stats[w].tasks),
+                  static_cast<unsigned long long>(stats[w].steals),
+                  static_cast<double>(stats[w].busy_ns) / 1e6);
+    }
+    const double idle_ms =
+        secs * 1e3 * static_cast<double>(threads) -
+        static_cast<double>(busy_sum) / 1e6;
+    std::printf("           pool idle: %.1f ms (wall x threads - busy)\n",
+                idle_ms > 0.0 ? idle_ms : 0.0);
+
     ct.values.push_back(static_cast<double>(threads));
     cs.values.push_back(secs);
     cr.values.push_back(total_trials / secs);
@@ -77,5 +99,5 @@ int main(int argc, char** argv) {
   bench::note("machine's core count, flat beyond it (this box may have");
   bench::note("fewer than 8 cores — the determinism column must stay");
   bench::note("'yes' regardless)");
-  return 0;
+  return finish_bench_output(opt) ? 0 : 1;
 }

@@ -21,4 +21,20 @@ inline void rule() {
   std::printf("----------------------------------------------------------------\n");
 }
 
+/// RFC 4180 CSV field escaping: a field containing a comma, double
+/// quote, CR, or LF is wrapped in double quotes with embedded quotes
+/// doubled; anything else passes through unchanged.
+inline std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace ms::bench

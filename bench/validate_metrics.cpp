@@ -1,0 +1,270 @@
+// Standalone checker for --metrics-out files, driven by the bench-smoke
+// ctest label: parses the JSON by hand (no third-party dependency) and
+// validates the ms.metrics.v1 schema invariants the plotting scripts
+// rely on.  Exits 0 when the file is well formed, 1 with a diagnostic
+// naming the offending key otherwise.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- minimal JSON model + recursive-descent parser -------------------
+
+struct Json {
+  enum class Kind { Object, Array, String, Number } kind;
+  std::map<std::string, Json> object;
+  std::vector<Json> array;
+  std::string string;
+  double number = 0.0;
+  bool integral = false;  // number had no '.', 'e', or 'E'
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing data after top-level value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("byte " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      fail(std::string("expected '") + c + "', found '" + s_[pos_] + "'");
+    ++pos_;
+  }
+
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      default: return number();
+    }
+  }
+
+  Json object() {
+    Json v;
+    v.kind = Json::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = string_value().string;
+      skip_ws();
+      expect(':');
+      v.object[key] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    Json v;
+    v.kind = Json::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Json string_value() {
+    Json v;
+    v.kind = Json::Kind::String;
+    expect('"');
+    while (peek() != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'n': v.string += '\n'; break;
+          case 't': v.string += '\t'; break;
+          case 'r': v.string += '\r'; break;
+          default: fail(std::string("unsupported escape '\\") + esc + "'");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+    ++pos_;
+    return v;
+  }
+
+  Json number() {
+    Json v;
+    v.kind = Json::Kind::Number;
+    const std::size_t start = pos_;
+    bool integral = true;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a number");
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    v.integral = integral;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- ms.metrics.v1 schema checks -------------------------------------
+
+[[noreturn]] void bad(const std::string& why) {
+  throw std::runtime_error(why);
+}
+
+const Json& require(const Json& obj, const char* key, Json::Kind kind,
+                    const char* kind_name) {
+  auto it = obj.object.find(key);
+  if (it == obj.object.end()) bad(std::string("missing key \"") + key + "\"");
+  if (it->second.kind != kind)
+    bad(std::string("\"") + key + "\" must be " + kind_name);
+  return it->second;
+}
+
+void check_counter(const std::string& name, const Json& v) {
+  if (v.kind != Json::Kind::Number || !v.integral || v.number < 0)
+    bad("counter \"" + name + "\" must be a non-negative integer");
+}
+
+void check_histogram(const std::string& name, const Json& h) {
+  if (h.kind != Json::Kind::Object)
+    bad("histogram \"" + name + "\" must be an object");
+  const Json& bounds = require(h, "bounds", Json::Kind::Array, "an array");
+  const Json& counts = require(h, "counts", Json::Kind::Array, "an array");
+  require(h, "sum", Json::Kind::Number, "a number");
+  const Json& count = require(h, "count", Json::Kind::Number, "a number");
+
+  for (std::size_t i = 0; i < bounds.array.size(); ++i) {
+    if (bounds.array[i].kind != Json::Kind::Number)
+      bad("histogram \"" + name + "\" bounds[" + std::to_string(i) +
+          "] is not a number");
+    if (i > 0 && bounds.array[i].number <= bounds.array[i - 1].number)
+      bad("histogram \"" + name + "\" bounds must ascend strictly");
+  }
+  if (counts.array.size() != bounds.array.size() + 1)
+    bad("histogram \"" + name + "\" has " +
+        std::to_string(counts.array.size()) + " counts for " +
+        std::to_string(bounds.array.size()) +
+        " bounds (want bounds + 1 overflow bucket)");
+  double total = 0.0;
+  for (std::size_t i = 0; i < counts.array.size(); ++i) {
+    const Json& c = counts.array[i];
+    if (c.kind != Json::Kind::Number || !c.integral || c.number < 0)
+      bad("histogram \"" + name + "\" counts[" + std::to_string(i) +
+          "] must be a non-negative integer");
+    total += c.number;
+  }
+  if (total != count.number)
+    bad("histogram \"" + name + "\" count " + std::to_string(count.number) +
+        " does not equal the bucket sum " + std::to_string(total));
+}
+
+void validate(const Json& root) {
+  if (root.kind != Json::Kind::Object) bad("top level must be an object");
+  const Json& schema =
+      require(root, "schema", Json::Kind::String, "a string");
+  if (schema.string != "ms.metrics.v1")
+    bad("unknown schema \"" + schema.string + "\" (want ms.metrics.v1)");
+
+  const Json& counters =
+      require(root, "counters", Json::Kind::Object, "an object");
+  for (const auto& [name, v] : counters.object) check_counter(name, v);
+
+  const Json& gauges =
+      require(root, "gauges", Json::Kind::Object, "an object");
+  for (const auto& [name, v] : gauges.object)
+    if (v.kind != Json::Kind::Number)
+      bad("gauge \"" + name + "\" must be a number");
+
+  const Json& hists =
+      require(root, "histograms", Json::Kind::Object, "an object");
+  for (const auto& [name, v] : hists.object) check_histogram(name, v);
+
+  check_counter("events_dropped",
+                require(root, "events_dropped", Json::Kind::Number,
+                        "a number"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s metrics.json\n", argv[0]);
+    return 2;
+  }
+  std::ifstream f(argv[1], std::ios::binary);
+  if (!f.is_open()) {
+    std::fprintf(stderr, "validate_metrics: cannot open '%s'\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  try {
+    validate(Parser(buf.str()).parse());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "validate_metrics: %s: %s\n", argv[1], e.what());
+    return 1;
+  }
+  std::printf("validate_metrics: %s OK\n", argv[1]);
+  return 0;
+}

@@ -20,6 +20,8 @@ echo "=== Release build ==="
 cmake -B "${repo_root}/build" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${repo_root}/build" -j"${jobs}"
 run_suites "${repo_root}/build"
+echo "==> ctest -L bench-smoke (Release only)"
+ctest --test-dir "${repo_root}/build" -L bench-smoke --output-on-failure -j"${jobs}"
 
 echo "=== ASan+UBSan build ==="
 cmake -B "${repo_root}/build-asan" -S "${repo_root}" -DMS_SANITIZE=ON \

@@ -4,6 +4,8 @@
 
 #include "channel/awgn.h"
 #include "common/error.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "core/overlay/ble_overlay.h"
 #include "core/overlay/wifi_b_overlay.h"
 #include "core/overlay/wifi_n_overlay.h"
@@ -70,6 +72,7 @@ std::unique_ptr<OverlayCodec> make_overlay_codec(Protocol p,
 OverlayTrialResult run_overlay_trial(const OverlayCodec& codec,
                                      std::size_t n_sequences, double snr_db,
                                      Rng& rng) {
+  OBS_SCOPE("overlay.trial");
   MS_CHECK(n_sequences >= 1);
   const Bits productive =
       rng.bits(n_sequences * codec.productive_bits_per_sequence());
@@ -83,6 +86,15 @@ OverlayTrialResult run_overlay_trial(const OverlayCodec& codec,
   OverlayTrialResult r;
   r.productive_ber = bit_error_rate(productive, decoded.productive);
   r.tag_ber = bit_error_rate(tag, decoded.tag);
+  if (obs::trace_enabled(obs::Subsystem::Overlay)) {
+    obs::Event(obs::Subsystem::Overlay, obs::Severity::Debug, "overlay.trial")
+        .f("kappa", codec.params().kappa)
+        .f("gamma", codec.params().gamma)
+        .f("snr_db", snr_db)
+        .f("productive_ber", r.productive_ber)
+        .f("tag_ber", r.tag_ber)
+        .emit();
+  }
   return r;
 }
 

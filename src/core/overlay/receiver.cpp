@@ -1,11 +1,38 @@
 #include "core/overlay/receiver.h"
 
+#include <array>
 #include <cmath>
 
 #include "common/error.h"
 #include "core/ident/templates.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace ms {
+
+namespace {
+
+// Telemetry ids (docs/OBSERVABILITY.md).  The sync metric is a
+// normalized correlation in [0, 1].
+constexpr std::array<double, 9> kMetricBounds = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                                 0.6, 0.7, 0.8, 0.9};
+
+struct RxMetrics {
+  obs::MetricId rx = obs::counter("overlay.rx");
+  obs::MetricId sync_fail = obs::counter("overlay.sync_fail");
+  obs::MetricId decode_fail = obs::counter("overlay.decode_fail");
+  obs::MetricId decode_ok = obs::counter("overlay.decode_ok");
+  obs::MetricId sync_metric = obs::histogram("overlay.sync_metric",
+                                             kMetricBounds);
+};
+
+const RxMetrics& rx_metrics() {
+  static const RxMetrics m;
+  return m;
+}
+
+}  // namespace
 
 OverlayReceiver::OverlayReceiver(Protocol protocol, OverlayParams params)
     : protocol_(protocol),
@@ -54,15 +81,35 @@ std::optional<SyncResult> OverlayReceiver::synchronize(
 
 std::optional<OverlayDecoded> OverlayReceiver::receive(
     std::span<const Cf> rx, std::size_t n_sequences, double min_metric) const {
+  OBS_SCOPE("overlay.receive");
+  const RxMetrics& rm = rx_metrics();
+  obs::add(rm.rx);
   const auto sync = synchronize(rx, min_metric);
-  if (!sync) return std::nullopt;
-  if (sync->payload_start >= rx.size()) return std::nullopt;
+  if (!sync || sync->payload_start >= rx.size()) {
+    obs::add(rm.sync_fail);
+    obs::Event(obs::Subsystem::Overlay, obs::Severity::Info,
+               "overlay.sync_fail")
+        .f("metric", sync ? sync->metric : 0.0)
+        .f("min_metric", min_metric)
+        .emit();
+    return std::nullopt;
+  }
+  obs::observe(rm.sync_metric, sync->metric);
   const auto payload = rx.subspan(sync->payload_start);
   // The codec checks it has enough samples; a truncated capture throws,
   // which we surface as "no packet".
   try {
-    return codec_->decode(payload, n_sequences);
+    OverlayDecoded out = codec_->decode(payload, n_sequences);
+    obs::add(rm.decode_ok);
+    return out;
   } catch (const Error&) {
+    obs::add(rm.decode_fail);
+    obs::Event(obs::Subsystem::Overlay, obs::Severity::Warn,
+               "overlay.decode_fail")
+        .f("metric", sync->metric)
+        .f("payload_len", payload.size())
+        .f("n_sequences", n_sequences)
+        .emit();
     return std::nullopt;
   }
 }

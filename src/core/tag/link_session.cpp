@@ -1,12 +1,45 @@
 #include "core/tag/link_session.h"
 
 #include <algorithm>
+#include <array>
 
 #include "channel/link.h"
 #include "common/error.h"
 #include "core/overlay/fec.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace ms {
+
+namespace {
+
+// Telemetry ids (docs/OBSERVABILITY.md).  Slot-SNR buckets span the
+// operating range the sweeps exercise.
+constexpr std::array<double, 7> kSnrBounds = {-5.0, 0.0,  5.0, 10.0,
+                                              15.0, 20.0, 25.0};
+
+struct LinkMetrics {
+  obs::MetricId slots = obs::counter("tag.slots");
+  obs::MetricId slots_deferred = obs::counter("tag.slots_deferred");
+  obs::MetricId frames_tx = obs::counter("tag.frames_tx");
+  obs::MetricId crc_ok = obs::counter("tag.crc_ok");
+  obs::MetricId crc_fail = obs::counter("tag.crc_fail");
+  obs::MetricId frame_corrupt = obs::counter("tag.frame_corrupt");
+  obs::MetricId arq_retry = obs::counter("tag.arq_retry");
+  obs::MetricId arq_drop = obs::counter("tag.arq_drop");
+  obs::MetricId acks_lost = obs::counter("tag.acks_lost");
+  obs::MetricId readings_delivered = obs::counter("tag.readings_delivered");
+  obs::MetricId adapt_switch = obs::counter("tag.adapt_switch");
+  obs::MetricId slot_snr = obs::histogram("tag.slot_snr_db", kSnrBounds);
+};
+
+const LinkMetrics& link_metrics() {
+  static const LinkMetrics m;
+  return m;
+}
+
+}  // namespace
 
 LinkSession::LinkSession(LinkSessionConfig cfg)
     : cfg_(std::move(cfg)),
@@ -83,6 +116,8 @@ Samples sense_envelope(bool busy, const ChannelSenseConfig& sense, Rng& rng) {
 
 LinkSessionReport LinkSession::run(std::size_t n_readings,
                                    std::size_t max_slots, Rng& rng) {
+  OBS_SCOPE("tag.link_session");
+  const LinkMetrics& lm = link_metrics();
   LinkSessionReport rep;
   ArqSender sender(cfg_.arq);
   ArqReceiver arq_rx;
@@ -103,7 +138,12 @@ LinkSessionReport LinkSession::run(std::size_t n_readings,
   while (rep.slots < max_slots &&
          (rep.readings_offered < n_readings || pending())) {
     ++rep.slots;
+    // Slot index is this subsystem's deterministic time axis: every
+    // trace event below lands on (point, trial, slot).
+    obs::set_sim_time(static_cast<double>(rep.slots));
+    obs::add(lm.slots);
     const double snr_db = cfg_.base_snr_db + quality.step(rng);
+    obs::observe(lm.slot_snr, snr_db);
 
     // Readings are (re-)framed at the protection level in force when
     // they are offered; the level then holds until the reading resolves.
@@ -126,6 +166,7 @@ LinkSessionReport LinkSession::run(std::size_t n_readings,
     const bool busy = rng.chance(cfg_.sense_busy_prob);
     if (sensor.channel_busy(sense_envelope(busy, cfg_.sense, rng))) {
       ++rep.slots_deferred;
+      obs::add(lm.slots_deferred);
       continue;
     }
 
@@ -140,6 +181,13 @@ LinkSessionReport LinkSession::run(std::size_t n_readings,
     ++transmissions;
     rep.mean_gamma += level.gamma;
     rep.mean_fec_repeats += level.fec_repeats;
+    obs::add(lm.frames_tx);
+    obs::Event(obs::Subsystem::Overlay, obs::Severity::Debug, "tag.frame_tx")
+        .f("kappa", overlay_.kappa)
+        .f("gamma", level.gamma)
+        .f("fec_repeats", level.fec_repeats)
+        .f("snr_db", snr_db)
+        .emit();
 
     // Through the channel: per-bit flips at the slot's tag BER, plus the
     // fault injector's i.i.d. burst corruption.
@@ -154,8 +202,23 @@ LinkSessionReport LinkSession::run(std::size_t n_readings,
       const std::size_t start = rng.uniform_int(coded.size());
       for (std::size_t i = start; i < std::min(coded.size(), start + len); ++i)
         coded[i] ^= 1u;
+      obs::add(lm.frame_corrupt);
+      obs::Event(obs::Subsystem::Faults, obs::Severity::Warn,
+                 "fault.frame_corrupt")
+          .f("start", start)
+          .f("len", len)
+          .f("coded_bits", coded.size())
+          .emit();
     }
     const std::optional<TagFrame> rx = decode_frame(coded, level);
+    obs::add(rx ? lm.crc_ok : lm.crc_fail);
+    if (!rx) {
+      obs::Event(obs::Subsystem::Overlay, obs::Severity::Info, "tag.crc_fail")
+          .f("kappa", overlay_.kappa)
+          .f("gamma", level.gamma)
+          .f("snr_db", snr_db)
+          .emit();
+    }
 
     if (cfg_.arq_enabled) {
       bool acked = false;
@@ -165,9 +228,11 @@ LinkSessionReport LinkSession::run(std::size_t n_readings,
         if (res.reading) {
           ++rep.readings_delivered;
           rep.delivered_bytes += static_cast<double>(res.reading->size());
+          obs::add(lm.readings_delivered);
         }
         if (res.crc_ok && rng.chance(cfg_.ack_loss_prob)) {
           ++rep.acks_lost;
+          obs::add(lm.acks_lost);
         } else {
           acked = res.crc_ok;
         }
@@ -182,16 +247,42 @@ LinkSessionReport LinkSession::run(std::size_t n_readings,
           ++rep.frames_corrupted;
         }
         const std::size_t drops_before = sender.stats().frames_dropped;
+        const unsigned attempts = sender.attempts();
         sender.on_nack();
-        if (sender.stats().frames_dropped != drops_before)
+        if (sender.stats().frames_dropped != drops_before) {
           head_failed = false;  // gave up on this frame
+          obs::add(lm.arq_drop);
+          obs::Event(obs::Subsystem::Arq, obs::Severity::Warn, "arq.drop")
+              .f("attempts", attempts)
+              .emit();
+        } else {
+          obs::add(lm.arq_retry);
+          obs::Event(obs::Subsystem::Arq, obs::Severity::Info, "arq.retry")
+              .f("attempt", attempts)
+              .f("holdoff", sender.holdoff())
+              .emit();
+        }
       }
-      if (cfg_.adaptation_enabled) policy.on_frame_result(acked);
+      if (cfg_.adaptation_enabled) {
+        const std::size_t switches_before = policy.switches();
+        policy.on_frame_result(acked);
+        if (policy.switches() != switches_before) {
+          obs::add(lm.adapt_switch);
+          obs::Event(obs::Subsystem::Arq, obs::Severity::Info, "arq.adapt")
+              .f("level", policy.level_index())
+              .f("gamma", policy.level().gamma)
+              .f("fec_repeats", policy.level().fec_repeats)
+              .f("nack_rate", policy.nack_rate())
+              .f("probing", policy.probing())
+              .emit();
+        }
+      }
     } else {
       if (rx) {
         if (std::optional<Bytes> done = assembler.push(*rx)) {
           ++rep.readings_delivered;
           rep.delivered_bytes += static_cast<double>(done->size());
+          obs::add(lm.readings_delivered);
         }
       } else {
         ++rep.frames_corrupted;

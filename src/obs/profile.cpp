@@ -1,0 +1,141 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace ms::obs {
+
+namespace {
+
+/// One stage's tallies.  Atomics with relaxed ordering: stages are
+/// independent sums read only at report time, so no ordering between
+/// them is needed — just tear-free adds from any thread.
+struct Stage {
+  std::string name;
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> max_ns{0};
+};
+
+/// Fixed-capacity stage storage so profile_record can index without a
+/// lock while another thread registers a new stage (a growable
+/// container's internals would race).  256 stages is far beyond any
+/// realistic instrumentation density.
+constexpr std::size_t kMaxStages = 256;
+
+struct ProfileTable {
+  std::mutex m;  ///< guards registration and `count` growth
+  std::array<Stage, kMaxStages> stages;
+  std::atomic<std::size_t> count{0};
+  std::unordered_map<std::string, ProfileId> by_name;
+};
+
+ProfileTable& table() {
+  static ProfileTable t;
+  return t;
+}
+
+}  // namespace
+
+ProfileId profile_id(const char* name) {
+  ProfileTable& t = table();
+  std::lock_guard<std::mutex> lk(t.m);
+  const auto it = t.by_name.find(name);
+  if (it != t.by_name.end()) return it->second;
+  const std::size_t n = t.count.load(std::memory_order_relaxed);
+  MS_CHECK_MSG(n < kMaxStages, "too many profiling stages (max " +
+                                   std::to_string(kMaxStages) + "): " +
+                                   std::string(name));
+  t.stages[n].name = name;
+  t.count.store(n + 1, std::memory_order_release);
+  t.by_name.emplace(name, static_cast<ProfileId>(n));
+  return static_cast<ProfileId>(n);
+}
+
+namespace detail {
+
+void profile_record(ProfileId id, std::uint64_t elapsed_ns) {
+  ProfileTable& t = table();
+  // The stage exists (ids only come from profile_id) and array elements
+  // never move, so no lock is needed to reach it.
+  Stage& s = t.stages[id];
+  s.calls.fetch_add(1, std::memory_order_relaxed);
+  s.total_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  std::uint64_t prev = s.max_ns.load(std::memory_order_relaxed);
+  while (elapsed_ns > prev &&
+         !s.max_ns.compare_exchange_weak(prev, elapsed_ns,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+std::vector<ProfileStat> profile_snapshot() {
+  ProfileTable& t = table();
+  std::vector<ProfileStat> out;
+  {
+    std::lock_guard<std::mutex> lk(t.m);
+    const std::size_t n = t.count.load(std::memory_order_acquire);
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Stage& s = t.stages[i];
+      out.push_back({s.name, s.calls.load(std::memory_order_relaxed),
+                     s.total_ns.load(std::memory_order_relaxed),
+                     s.max_ns.load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfileStat& a, const ProfileStat& b) {
+              return a.total_ns != b.total_ns ? a.total_ns > b.total_ns
+                                              : a.name < b.name;
+            });
+  return out;
+}
+
+void reset_profile() {
+  ProfileTable& t = table();
+  std::lock_guard<std::mutex> lk(t.m);
+  const std::size_t n = t.count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    Stage& s = t.stages[i];
+    s.calls.store(0, std::memory_order_relaxed);
+    s.total_ns.store(0, std::memory_order_relaxed);
+    s.max_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+void print_profile_table(std::FILE* out) {
+  const std::vector<ProfileStat> stats = profile_snapshot();
+  std::uint64_t grand_total = 0;
+  std::size_t active = 0;
+  for (const ProfileStat& s : stats)
+    if (s.calls > 0) {
+      grand_total += s.total_ns;
+      ++active;
+    }
+  if (active == 0) return;
+  std::fprintf(out, "\n  per-stage time breakdown (wall clock)\n");
+  std::fprintf(out, "  %-28s %10s %12s %12s %12s %7s\n", "stage", "calls",
+               "total (ms)", "mean (us)", "max (us)", "share");
+  std::fprintf(out, "  %s\n", std::string(85, '-').c_str());
+  for (const ProfileStat& s : stats) {
+    if (s.calls == 0) continue;
+    std::fprintf(out, "  %-28s %10llu %12.2f %12.2f %12.2f %6.1f%%\n",
+                 s.name.c_str(), static_cast<unsigned long long>(s.calls),
+                 static_cast<double>(s.total_ns) / 1e6,
+                 static_cast<double>(s.total_ns) /
+                     (1e3 * static_cast<double>(s.calls)),
+                 static_cast<double>(s.max_ns) / 1e3,
+                 grand_total == 0
+                     ? 0.0
+                     : 100.0 * static_cast<double>(s.total_ns) /
+                           static_cast<double>(grand_total));
+  }
+}
+
+}  // namespace ms::obs

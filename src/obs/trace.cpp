@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.h"
+#include "obs/telemetry.h"
+
+namespace ms::obs {
+
+namespace {
+
+constexpr std::uint32_t kMaskUnset = 0xffffffffu;
+std::atomic<std::uint32_t> g_mask{kMaskUnset};
+
+std::uint32_t init_mask_from_env() {
+  const char* env = std::getenv("MS_TRACE");
+  const std::uint32_t mask = env ? parse_trace_mask(env) : 0;
+  g_mask.store(mask, std::memory_order_relaxed);
+  return mask;
+}
+
+std::string fmt_num(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v < 1e15 && v > -1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* subsystem_name(Subsystem s) {
+  switch (s) {
+    case Subsystem::Ident: return "ident";
+    case Subsystem::Overlay: return "overlay";
+    case Subsystem::Arq: return "arq";
+    case Subsystem::Faults: return "faults";
+    case Subsystem::Runner: return "runner";
+  }
+  return "?";
+}
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Debug: return "debug";
+    case Severity::Info: return "info";
+    case Severity::Warn: return "warn";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::uint32_t parse_trace_mask(const std::string& spec) {
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string tok = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (tok.empty()) continue;
+    if (tok == "all") {
+      mask |= kAllSubsystems;
+    } else if (tok == "ident") {
+      mask |= static_cast<std::uint32_t>(Subsystem::Ident);
+    } else if (tok == "overlay") {
+      mask |= static_cast<std::uint32_t>(Subsystem::Overlay);
+    } else if (tok == "arq") {
+      mask |= static_cast<std::uint32_t>(Subsystem::Arq);
+    } else if (tok == "faults") {
+      mask |= static_cast<std::uint32_t>(Subsystem::Faults);
+    } else if (tok == "runner") {
+      mask |= static_cast<std::uint32_t>(Subsystem::Runner);
+    } else {
+      throw Error("unknown MS_TRACE subsystem '" + tok +
+                  "' (expected ident, overlay, arq, faults, runner, all)");
+    }
+  }
+  return mask;
+}
+
+std::uint32_t trace_mask() {
+  const std::uint32_t m = g_mask.load(std::memory_order_relaxed);
+  return m == kMaskUnset ? init_mask_from_env() : m;
+}
+
+void set_trace_mask(std::uint32_t mask) {
+  g_mask.store(mask & kAllSubsystems, std::memory_order_relaxed);
+}
+
+Event::Event(Subsystem subsys, Severity severity, const char* name) {
+  enabled_ = trace_enabled(subsys) && detail::current_shard() != nullptr;
+  if (!enabled_) return;
+  ev_.subsys = subsys;
+  ev_.severity = severity;
+  ev_.name = name;
+}
+
+Event& Event::f(const char* key, double value) {
+  if (enabled_ && ev_.n_fields < TraceEvent::kMaxFields) {
+    ev_.fields[ev_.n_fields].key = key;
+    ev_.fields[ev_.n_fields].num = value;
+    ev_.fields[ev_.n_fields].str = nullptr;
+    ++ev_.n_fields;
+  }
+  return *this;
+}
+
+Event& Event::fs(const char* key, const char* value) {
+  if (enabled_ && ev_.n_fields < TraceEvent::kMaxFields) {
+    ev_.fields[ev_.n_fields].key = key;
+    ev_.fields[ev_.n_fields].str = value;
+    ++ev_.n_fields;
+  }
+  return *this;
+}
+
+void Event::emit() {
+  if (!enabled_) return;
+  const TraceClock clock = trace_clock();
+  ev_.point = clock.point;
+  ev_.trial = clock.trial;
+  ev_.sim_time = clock.sim_time;
+  detail::current_shard()->record_event(ev_);
+}
+
+std::string event_to_json(const TraceEvent& ev) {
+  std::string out = "{\"point\": " + std::to_string(ev.point) +
+                    ", \"trial\": " + std::to_string(ev.trial) +
+                    ", \"t\": " + fmt_num(ev.sim_time) + ", \"subsys\": \"" +
+                    subsystem_name(ev.subsys) + "\", \"sev\": \"" +
+                    severity_name(ev.severity) + "\", \"event\": \"" +
+                    (ev.name ? ev.name : "?") + "\"";
+  for (std::uint8_t i = 0; i < ev.n_fields; ++i) {
+    const TraceEvent::Field& f = ev.fields[i];
+    out += ", \"";
+    out += f.key;
+    out += "\": ";
+    if (f.str) {
+      out += "\"";
+      out += f.str;
+      out += "\"";
+    } else {
+      out += fmt_num(f.num);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ms::obs

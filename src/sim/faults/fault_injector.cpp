@@ -4,42 +4,88 @@
 
 #include "channel/impairments.h"
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ms {
 
+namespace {
+
+// Telemetry ids (docs/OBSERVABILITY.md).  Every injected fault bumps a
+// counter and, when the faults trace mask is on, emits an event carrying
+// the drawn parameters so downstream errors can be joined to their cause
+// by the (point, trial, sim_time) clock.
+struct FaultMetrics {
+  obs::MetricId cfo = obs::counter("fault.cfo");
+  obs::MetricId drift = obs::counter("fault.drift");
+  obs::MetricId dropout = obs::counter("fault.dropout");
+  obs::MetricId burst = obs::counter("fault.burst");
+  obs::MetricId adc_duplicate = obs::counter("fault.adc_duplicate");
+  obs::MetricId adc_truncate = obs::counter("fault.adc_truncate");
+};
+
+const FaultMetrics& fault_metrics() {
+  static const FaultMetrics m;
+  return m;
+}
+
+}  // namespace
+
 Iq FaultInjector::perturb_excitation(Iq x, double sample_rate_hz, Rng& rng) {
   if (x.empty()) return x;
+  const FaultMetrics& fm = fault_metrics();
   if (cfg_.cfo_max_hz > 0.0) {
     const double f = rng.uniform(-cfg_.cfo_max_hz, cfg_.cfo_max_hz);
     x = apply_cfo(x, f, sample_rate_hz);
     ++stats_.cfo_applied;
+    obs::add(fm.cfo);
+    obs::Event(obs::Subsystem::Faults, obs::Severity::Debug, "fault.cfo")
+        .f("offset_hz", f)
+        .emit();
   }
   if (cfg_.clock_drift_max_ppm > 0.0) {
     const double ppm =
         rng.uniform(-cfg_.clock_drift_max_ppm, cfg_.clock_drift_max_ppm);
     x = apply_clock_drift(x, ppm);
     ++stats_.drift_applied;
+    obs::add(fm.drift);
+    obs::Event(obs::Subsystem::Faults, obs::Severity::Debug, "fault.drift")
+        .f("ppm", ppm)
+        .emit();
   }
   if (cfg_.dropout_prob > 0.0 && rng.chance(cfg_.dropout_prob)) {
     const std::size_t len = std::max<std::size_t>(
         1, static_cast<std::size_t>(cfg_.dropout_fraction *
                                     static_cast<double>(x.size())));
-    apply_dropout(x, rng.uniform_int(x.size()), len);
+    const std::size_t start = rng.uniform_int(x.size());
+    apply_dropout(x, start, len);
     ++stats_.dropouts;
+    obs::add(fm.dropout);
+    obs::Event(obs::Subsystem::Faults, obs::Severity::Warn, "fault.dropout")
+        .f("start", start)
+        .f("len", len)
+        .emit();
   }
   if (cfg_.burst_prob > 0.0 && rng.chance(cfg_.burst_prob)) {
     const std::size_t len = std::max<std::size_t>(
         1, static_cast<std::size_t>(cfg_.burst_fraction *
                                     static_cast<double>(x.size())));
-    add_burst_interference(x, rng.uniform_int(x.size()), len,
-                           cfg_.burst_power_ratio, rng);
+    const std::size_t start = rng.uniform_int(x.size());
+    add_burst_interference(x, start, len, cfg_.burst_power_ratio, rng);
     ++stats_.bursts;
+    obs::add(fm.burst);
+    obs::Event(obs::Subsystem::Faults, obs::Severity::Warn, "fault.burst")
+        .f("start", start)
+        .f("len", len)
+        .f("power_ratio", cfg_.burst_power_ratio)
+        .emit();
   }
   return x;
 }
 
 Samples FaultInjector::perturb_adc(Samples x, Rng& rng) {
   if (x.empty()) return x;
+  const FaultMetrics& fm = fault_metrics();
   if (cfg_.adc_duplicate_prob > 0.0 && rng.chance(cfg_.adc_duplicate_prob)) {
     // A run of samples is delivered twice (DMA/FIFO re-read).
     MS_CHECK(cfg_.adc_duplicate_max_fraction > 0.0 &&
@@ -54,6 +100,12 @@ Samples FaultInjector::perturb_adc(Samples x, Rng& rng) {
              x.begin() + static_cast<std::ptrdiff_t>(start),
              x.begin() + static_cast<std::ptrdiff_t>(end));
     ++stats_.duplications;
+    obs::add(fm.adc_duplicate);
+    obs::Event(obs::Subsystem::Faults, obs::Severity::Warn,
+               "fault.adc_duplicate")
+        .f("start", start)
+        .f("len", end - start)
+        .emit();
   }
   if (cfg_.adc_truncate_prob > 0.0 && rng.chance(cfg_.adc_truncate_prob)) {
     // The tail of the capture is lost (EN dropped early / buffer cut).
@@ -62,8 +114,14 @@ Samples FaultInjector::perturb_adc(Samples x, Rng& rng) {
     const std::size_t max_cut = std::max<std::size_t>(
         1, static_cast<std::size_t>(cfg_.adc_truncate_max_fraction *
                                     static_cast<double>(x.size())));
-    x.resize(x.size() - (1 + rng.uniform_int(max_cut)));
+    const std::size_t cut = 1 + rng.uniform_int(max_cut);
+    x.resize(x.size() - cut);
     ++stats_.truncations;
+    obs::add(fm.adc_truncate);
+    obs::Event(obs::Subsystem::Faults, obs::Severity::Warn,
+               "fault.adc_truncate")
+        .f("cut", cut)
+        .emit();
   }
   return x;
 }

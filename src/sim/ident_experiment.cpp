@@ -128,8 +128,14 @@ Samples make_ident_trace(Protocol p, const IdentTrialConfig& cfg, Rng& rng) {
 
 IdentResult run_ident_experiment(const IdentTrialConfig& cfg,
                                  std::size_t trials_per_protocol) {
-  const ProtocolIdentifier identifier(cfg.ident);
   TrialRunner runner({cfg.threads, cfg.seed});
+  return run_ident_experiment(runner, cfg, trials_per_protocol);
+}
+
+IdentResult run_ident_experiment(TrialRunner& runner,
+                                 const IdentTrialConfig& cfg,
+                                 std::size_t trials_per_protocol) {
+  const ProtocolIdentifier identifier(cfg.ident);
   // Grid: point = true protocol, trial = Monte-Carlo repetition.  Each
   // cell returns the detected column; the confusion tallies merge in
   // fixed grid order, so the result is identical at any thread count.

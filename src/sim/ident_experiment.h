@@ -61,6 +61,13 @@ Samples make_ident_trace(Protocol p, const IdentTrialConfig& cfg, Rng& rng);
 IdentResult run_ident_experiment(const IdentTrialConfig& cfg,
                                  std::size_t trials_per_protocol);
 
+/// Same sweep on a caller-owned runner (cfg.threads/cfg.seed are ignored
+/// in favor of the runner's own config).  Lets benches inspect the
+/// pool's scheduling stats afterwards (ThreadPool::worker_stats).
+IdentResult run_ident_experiment(TrialRunner& runner,
+                                 const IdentTrialConfig& cfg,
+                                 std::size_t trials_per_protocol);
+
 /// Brute-force threshold search for ordered matching (§2.3.2): sweeps a
 /// coarse threshold grid on calibration trials and returns the
 /// per-protocol thresholds that maximize average accuracy (for the order

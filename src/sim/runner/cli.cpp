@@ -2,6 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/profile.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace ms {
 
@@ -19,6 +26,26 @@ bool parse_u64(const std::string& s, std::uint64_t& out) {
   }
   out = v;
   return true;
+}
+
+/// Create `dir` (and parents).  Returns an error message naming the
+/// path that failed, or nullopt.
+std::optional<std::string> ensure_dir(const std::string& dir) {
+  if (dir.empty()) return std::nullopt;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    return "cannot create directory '" + dir + "': " + ec.message();
+  return std::nullopt;
+}
+
+/// Create the parent directory of an output file path, if it has one.
+std::optional<std::string> ensure_parent_dir(const std::string& file) {
+  if (file.empty()) return std::nullopt;
+  const std::filesystem::path parent =
+      std::filesystem::path(file).parent_path();
+  if (parent.empty()) return std::nullopt;
+  return ensure_dir(parent.string());
 }
 
 }  // namespace
@@ -57,6 +84,14 @@ std::optional<std::string> parse_cli(int argc, const char* const* argv,
       const auto v = value("--out");
       if (!v) return "--out expects a directory";
       opts.out_dir = *v;
+    } else if (arg == "--metrics-out") {
+      const auto v = value("--metrics-out");
+      if (!v) return "--metrics-out expects a file path";
+      opts.metrics_out = *v;
+    } else if (arg == "--trace-out") {
+      const auto v = value("--trace-out");
+      if (!v) return "--trace-out expects a file path";
+      opts.trace_out = *v;
     } else if (!arg.empty() && arg[0] == '-') {
       return "unknown flag: " + arg;
     } else {
@@ -74,17 +109,21 @@ std::string cli_usage(const char* prog) {
   u += prog;
   u +=
       " [--threads N] [--trials N] [--seed S] [--out DIR]\n"
-      "  --threads N   trial-engine worker threads (default: all cores)\n"
-      "  --trials N    override the default trial count\n"
-      "  --seed S      override the default master seed\n"
-      "  --out DIR     dump CSVs into DIR (must exist)\n"
-      "  --help        show this message\n";
+      "       [--metrics-out FILE] [--trace-out FILE]\n"
+      "  --threads N        trial-engine worker threads (default: all cores)\n"
+      "  --trials N         override the default trial count\n"
+      "  --seed S           override the default master seed\n"
+      "  --out DIR          dump CSVs into DIR (created if missing)\n"
+      "  --metrics-out FILE write the aggregated metrics registry as JSON\n"
+      "  --trace-out FILE   write structured trace events as JSONL; all\n"
+      "                     subsystems trace unless MS_TRACE narrows them\n"
+      "  --help             show this message\n";
   return u;
 }
 
 CliOptions parse_cli_or_exit(int argc, const char* const* argv) {
   CliOptions opts;
-  const auto err = parse_cli(argc, argv, opts);
+  auto err = parse_cli(argc, argv, opts);
   if (err) {
     std::fprintf(stderr, "error: %s\n%s", err->c_str(),
                  cli_usage(argv[0]).c_str());
@@ -94,7 +133,42 @@ CliOptions parse_cli_or_exit(int argc, const char* const* argv) {
     std::fprintf(stdout, "%s", cli_usage(argv[0]).c_str());
     std::exit(0);
   }
+  if (!(err = ensure_dir(opts.out_dir)) &&
+      !(err = ensure_parent_dir(opts.metrics_out)))
+    err = ensure_parent_dir(opts.trace_out);
+  if (err) {
+    std::fprintf(stderr, "error: %s\n", err->c_str());
+    std::exit(2);
+  }
+  // Requesting a trace file without MS_TRACE means "trace everything":
+  // an empty JSONL file from a forgotten env var is a silent footgun.
+  if (!opts.trace_out.empty() && obs::trace_mask() == 0)
+    obs::set_trace_mask(obs::kAllSubsystems);
   return opts;
+}
+
+bool finish_bench_output(const CliOptions& opts) {
+  bool ok = true;
+  if (!opts.metrics_out.empty()) {
+    try {
+      obs::write_metrics_json_file(opts.metrics_out);
+      std::fprintf(stderr, "metrics: %s\n", opts.metrics_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      ok = false;
+    }
+  }
+  if (!opts.trace_out.empty()) {
+    try {
+      obs::write_trace_jsonl_file(opts.trace_out);
+      std::fprintf(stderr, "trace: %s\n", opts.trace_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      ok = false;
+    }
+  }
+  obs::print_profile_table(stderr);
+  return ok;
 }
 
 }  // namespace ms

@@ -8,6 +8,13 @@
 // slots in fixed row-major (point, trial) order.  Together these two
 // rules make every sweep byte-identical regardless of thread count or
 // scheduling order — see docs/RUNNER.md.
+//
+// Telemetry rides the same rules: every cell runs against its own
+// obs::TelemetryShard (stamped with the (point, trial) trace clock),
+// and the shards are merged into the process aggregate in the same
+// row-major order — including when a task throws, so the failing cell's
+// partial metrics are preserved.  Aggregated telemetry is therefore as
+// thread-count-independent as the results (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstddef>
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/telemetry.h"
 #include "sim/runner/thread_pool.h"
 
 namespace ms {
@@ -32,6 +40,8 @@ class TrialRunner {
 
   std::size_t threads() const { return pool_.size(); }
   const RunnerConfig& config() const { return cfg_; }
+  const ThreadPool& pool() const { return pool_; }
+  ThreadPool& pool() { return pool_; }
 
   /// Run fn(point, trial, rng) for every cell of the grid.  Results come
   /// back in row-major (point-major) order: out[point * trials + trial].
@@ -40,12 +50,24 @@ class TrialRunner {
     using R = decltype(fn(std::size_t{0}, std::size_t{0},
                           std::declval<Rng&>()));
     std::vector<R> out(points * trials);
-    pool_.run_indexed(points * trials, [&](std::size_t i) {
-      const std::size_t point = i / trials;
-      const std::size_t trial = i % trials;
-      Rng rng = master_.fork(point, trial);
-      out[i] = fn(point, trial, rng);
-    });
+    std::vector<obs::TelemetryShard> shards(points * trials);
+    try {
+      pool_.run_indexed(points * trials, [&](std::size_t i) {
+        const std::size_t point = i / trials;
+        const std::size_t trial = i % trials;
+        obs::ShardScope telemetry(&shards[i]);
+        obs::set_trace_cell(static_cast<std::uint32_t>(point),
+                            static_cast<std::uint32_t>(trial));
+        Rng rng = master_.fork(point, trial);
+        out[i] = fn(point, trial, rng);
+      });
+    } catch (...) {
+      // Preserve what the cells recorded before the failure — the
+      // failing cell's partial shard included — then re-throw.
+      merge_shards(shards);
+      throw;
+    }
+    merge_shards(shards);
     return out;
   }
 
@@ -67,14 +89,29 @@ class TrialRunner {
   auto map_points(std::size_t points, Fn&& fn) {
     using R = decltype(fn(std::size_t{0}, std::declval<Rng&>()));
     std::vector<R> out(points);
-    pool_.run_indexed(points, [&](std::size_t i) {
-      Rng rng = master_.fork(i, 0);
-      out[i] = fn(i, rng);
-    });
+    std::vector<obs::TelemetryShard> shards(points);
+    try {
+      pool_.run_indexed(points, [&](std::size_t i) {
+        obs::ShardScope telemetry(&shards[i]);
+        obs::set_trace_cell(static_cast<std::uint32_t>(i), 0);
+        Rng rng = master_.fork(i, 0);
+        out[i] = fn(i, rng);
+      });
+    } catch (...) {
+      merge_shards(shards);
+      throw;
+    }
+    merge_shards(shards);
     return out;
   }
 
  private:
+  /// Row-major telemetry reduction, mirroring the result reduction.
+  static void merge_shards(const std::vector<obs::TelemetryShard>& shards) {
+    if (!obs::enabled()) return;
+    for (const obs::TelemetryShard& s : shards) obs::aggregate_merge(s);
+  }
+
   RunnerConfig cfg_;
   Rng master_;
   ThreadPool pool_;

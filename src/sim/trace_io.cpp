@@ -1,6 +1,7 @@
 #include "sim/trace_io.h"
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -38,18 +39,35 @@ void write_header(std::ofstream& f, bool complex_iq, double rate,
 RawHeader read_header(std::ifstream& f, const std::string& path) {
   RawHeader h{};
   f.read(reinterpret_cast<char*>(&h), sizeof h);
-  MS_CHECK_MSG(f.good(), "cannot read trace header: " + path);
+  MS_CHECK_MSG(f.good(),
+               "cannot read trace header: got " +
+                   std::to_string(f.gcount()) + " of " +
+                   std::to_string(sizeof h) + " header bytes: " + path);
+  // Each parse error names the offending header field and its byte
+  // offset so a corrupt file can be diagnosed with a hex dump.
   MS_CHECK_MSG(std::memcmp(h.magic, kMagic, 4) == 0,
-               "not a multiscatter trace file: " + path);
-  MS_CHECK_MSG(h.version == kVersion,
-               "unsupported trace version " + std::to_string(h.version) +
-                   " (expected " + std::to_string(kVersion) + "): " + path);
+               "not a multiscatter trace file (field 'magic', byte offset "
+               "0, expected \"MSTR\"): " + path);
+  MS_CHECK_MSG(
+      h.version == kVersion,
+      "unsupported trace version " + std::to_string(h.version) +
+          " (field 'version', byte offset " +
+          std::to_string(offsetof(RawHeader, version)) + ", expected " +
+          std::to_string(kVersion) + "): " + path);
   MS_CHECK_MSG(h.complex_iq <= 1,
-               "corrupt trace header (element type " +
-                   std::to_string(h.complex_iq) + " is neither real nor "
-                   "complex): " + path);
+               "corrupt trace header: element type " +
+                   std::to_string(h.complex_iq) +
+                   " is neither real (0) nor complex (1) (field "
+                   "'complex_iq', byte offset " +
+                   std::to_string(offsetof(RawHeader, complex_iq)) +
+                   "): " + path);
   MS_CHECK_MSG(h.sample_rate_hz > 0.0 && std::isfinite(h.sample_rate_hz),
-               "corrupt trace header (non-positive sample rate): " + path);
+               "corrupt trace header: sample rate " +
+                   std::to_string(h.sample_rate_hz) +
+                   " is not positive and finite (field 'sample_rate_hz', "
+                   "byte offset " +
+                   std::to_string(offsetof(RawHeader, sample_rate_hz)) +
+                   "): " + path);
 
   // The header's sample count must agree with what is actually on disk —
   // a short read must fail loudly here, never hand back a short buffer.
@@ -64,14 +82,19 @@ RawHeader read_header(std::ifstream& f, const std::string& path) {
   const std::uint64_t elem = h.complex_iq ? sizeof(Cf) : sizeof(float);
   MS_CHECK_MSG(
       h.n_samples <= payload_bytes / elem,
-      "truncated trace: header promises " + std::to_string(h.n_samples) +
-          " samples (" + std::to_string(h.n_samples * elem) +
-          " payload bytes) but the file holds " +
-          std::to_string(payload_bytes) + ": " + path);
+      "truncated trace: field 'n_samples' (byte offset " +
+          std::to_string(offsetof(RawHeader, n_samples)) + ") promises " +
+          std::to_string(h.n_samples) + " samples (" +
+          std::to_string(h.n_samples * elem) +
+          " payload bytes) but the file holds only " +
+          std::to_string(payload_bytes / elem) + " whole samples (" +
+          std::to_string(payload_bytes) + " bytes) — payload ends at "
+          "sample " + std::to_string(payload_bytes / elem) + ": " + path);
   MS_CHECK_MSG(
       h.n_samples * elem == payload_bytes,
-      "corrupt trace: header promises " + std::to_string(h.n_samples) +
-          " samples but the file holds " +
+      "corrupt trace: field 'n_samples' (byte offset " +
+          std::to_string(offsetof(RawHeader, n_samples)) + ") promises " +
+          std::to_string(h.n_samples) + " samples but the file holds " +
           std::to_string(payload_bytes / elem) + " (" +
           std::to_string(payload_bytes) + " payload bytes): " + path);
   return h;
@@ -115,7 +138,11 @@ Iq load_iq_trace(const std::string& path, double* sample_rate_hz) {
   Iq out(static_cast<std::size_t>(h.n_samples));
   f.read(reinterpret_cast<char*>(out.data()),
          static_cast<std::streamsize>(out.size() * sizeof(Cf)));
-  MS_CHECK_MSG(f.good(), "truncated trace: " + path);
+  MS_CHECK_MSG(f.good(),
+               "truncated trace: read failed at sample " +
+                   std::to_string(static_cast<std::uint64_t>(f.gcount()) /
+                                  sizeof(Cf)) +
+                   " of " + std::to_string(h.n_samples) + ": " + path);
   if (sample_rate_hz) *sample_rate_hz = h.sample_rate_hz;
   return out;
 }
@@ -128,7 +155,11 @@ Samples load_real_trace(const std::string& path, double* sample_rate_hz) {
   Samples out(static_cast<std::size_t>(h.n_samples));
   f.read(reinterpret_cast<char*>(out.data()),
          static_cast<std::streamsize>(out.size() * sizeof(float)));
-  MS_CHECK_MSG(f.good(), "truncated trace: " + path);
+  MS_CHECK_MSG(f.good(),
+               "truncated trace: read failed at sample " +
+                   std::to_string(static_cast<std::uint64_t>(f.gcount()) /
+                                  sizeof(float)) +
+                   " of " + std::to_string(h.n_samples) + ": " + path);
   if (sample_rate_hz) *sample_rate_hz = h.sample_rate_hz;
   return out;
 }

@@ -1,0 +1,161 @@
+// Metrics registry + shard semantics: registration is idempotent by
+// name, kind/bounds conflicts throw, and shard merges follow the
+// documented rules (counters add, gauges last-write-wins, histograms
+// add) that the determinism contract rests on.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace ms::obs {
+namespace {
+
+TEST(MetricsRegistry, RegistrationDedupesByName) {
+  const MetricId a = counter("test.metrics.dedupe");
+  const MetricId b = counter("test.metrics.dedupe");
+  EXPECT_EQ(a, b);
+  const MetricDef def = metric_def(a);
+  EXPECT_EQ(def.name, "test.metrics.dedupe");
+  EXPECT_EQ(def.kind, MetricKind::Counter);
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+  counter("test.metrics.kind_conflict");
+  EXPECT_THROW(gauge("test.metrics.kind_conflict"), Error);
+  EXPECT_THROW(histogram("test.metrics.kind_conflict",
+                         std::vector<double>{1.0}),
+               Error);
+}
+
+TEST(MetricsRegistry, HistogramBoundsFixedAtFirstRegistration) {
+  const std::vector<double> b1 = {1.0, 2.0};
+  const std::vector<double> b2 = {1.0, 3.0};
+  const MetricId h = histogram("test.metrics.bounds_fixed", b1);
+  EXPECT_EQ(histogram("test.metrics.bounds_fixed", b1), h);
+  EXPECT_THROW(histogram("test.metrics.bounds_fixed", b2), Error);
+}
+
+TEST(MetricsRegistry, HistogramBoundsMustAscendAndBeNonEmpty) {
+  EXPECT_THROW(histogram("test.metrics.bounds_desc",
+                         std::vector<double>{2.0, 1.0}),
+               Error);
+  EXPECT_THROW(histogram("test.metrics.bounds_empty", std::vector<double>{}),
+               Error);
+}
+
+TEST(Shard, RecordsThroughInstalledScope) {
+  const MetricId c = counter("test.shard.counter");
+  const MetricId g = gauge("test.shard.gauge");
+  const MetricId h =
+      histogram("test.shard.hist", std::vector<double>{1.0, 2.0});
+  TelemetryShard s;
+  {
+    ShardScope scope(&s);
+    add(c, 3);
+    add(c);
+    set(g, 7.5);
+    observe(h, 0.5);   // bucket 0 (<= 1)
+    observe(h, 2.0);   // bucket 1 (<= 2, inclusive upper bound)
+    observe(h, 99.0);  // overflow bucket
+  }
+  EXPECT_EQ(s.counter_value(c), 4u);
+  EXPECT_TRUE(s.gauge_written(g));
+  EXPECT_DOUBLE_EQ(s.gauge_value(g), 7.5);
+  const auto hv = s.histogram_value(h);
+  ASSERT_EQ(hv.counts.size(), 3u);
+  EXPECT_EQ(hv.counts[0], 1u);
+  EXPECT_EQ(hv.counts[1], 1u);
+  EXPECT_EQ(hv.counts[2], 1u);
+  EXPECT_EQ(hv.n, 3u);
+  EXPECT_DOUBLE_EQ(hv.sum, 101.5);
+}
+
+TEST(Shard, WritesAreNoOpsWithoutScope) {
+  const MetricId c = counter("test.shard.unscoped");
+  add(c, 5);  // no shard installed on this thread: must not crash
+  TelemetryShard s;
+  EXPECT_EQ(s.counter_value(c), 0u);
+}
+
+TEST(Shard, MergeSemantics) {
+  const MetricId c = counter("test.merge.counter");
+  const MetricId g = gauge("test.merge.gauge");
+  const MetricId h =
+      histogram("test.merge.hist", std::vector<double>{10.0});
+
+  TelemetryShard a, b, merged;
+  {
+    ShardScope scope(&a);
+    add(c, 2);
+    set(g, 1.0);
+    observe(h, 5.0);
+  }
+  {
+    ShardScope scope(&b);
+    add(c, 3);
+    set(g, 2.0);
+    observe(h, 50.0);
+  }
+  merged.merge_from(a);
+  merged.merge_from(b);
+
+  EXPECT_EQ(merged.counter_value(c), 5u);
+  // Gauge: last write in merge order wins.
+  EXPECT_DOUBLE_EQ(merged.gauge_value(g), 2.0);
+  const auto hv = merged.histogram_value(h);
+  ASSERT_EQ(hv.counts.size(), 2u);
+  EXPECT_EQ(hv.counts[0], 1u);
+  EXPECT_EQ(hv.counts[1], 1u);
+  EXPECT_DOUBLE_EQ(hv.sum, 55.0);
+}
+
+TEST(Shard, MergeSkipsUnwrittenGauge) {
+  const MetricId g = gauge("test.merge.gauge_unwritten");
+  TelemetryShard wrote, empty, merged;
+  {
+    ShardScope scope(&wrote);
+    set(g, 4.0);
+  }
+  merged.merge_from(wrote);
+  merged.merge_from(empty);  // no write: must not clobber the value
+  EXPECT_TRUE(merged.gauge_written(g));
+  EXPECT_DOUBLE_EQ(merged.gauge_value(g), 4.0);
+}
+
+TEST(Shard, DisabledTelemetryInstallsNothing) {
+  const MetricId c = counter("test.shard.disabled");
+  TelemetryShard s;
+  set_enabled(false);
+  {
+    ShardScope scope(&s);
+    add(c, 9);
+  }
+  set_enabled(true);
+  EXPECT_EQ(s.counter_value(c), 0u);
+}
+
+TEST(MetricsJson, SortedSchemaAndRoundTrip) {
+  reset_aggregate();
+  const MetricId c = counter("test.json.zeta");
+  const MetricId c2 = counter("test.json.alpha");
+  TelemetryShard s;
+  {
+    ShardScope scope(&s);
+    add(c, 1);
+    add(c2, 2);
+  }
+  aggregate_merge(s);
+  const std::string json = metrics_json_string();
+  EXPECT_NE(json.find("\"schema\": \"ms.metrics.v1\""), std::string::npos);
+  // Name-sorted output: alpha before zeta regardless of registration
+  // or write order.
+  EXPECT_LT(json.find("test.json.alpha"), json.find("test.json.zeta"));
+  reset_aggregate();
+}
+
+}  // namespace
+}  // namespace ms::obs

@@ -1,0 +1,79 @@
+// Profiling scopes: OBS_SCOPE tallies calls and time, snapshots sort by
+// total, reset zeroes tallies, and the kill switch records nothing.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/profile.h"
+#include "obs/telemetry.h"
+
+namespace ms::obs {
+namespace {
+
+const ProfileStat* find_stage(const std::vector<ProfileStat>& stats,
+                              const std::string& name) {
+  for (const ProfileStat& s : stats)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+TEST(Profile, ScopeRecordsCallsAndTime) {
+  reset_profile();
+  for (int i = 0; i < 3; ++i) {
+    OBS_SCOPE("test.profile.stage");
+  }
+  const auto stats = profile_snapshot();
+  const ProfileStat* s = find_stage(stats, "test.profile.stage");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->calls, 3u);
+  EXPECT_GE(s->max_ns, 0u);
+  EXPECT_GE(s->total_ns, s->max_ns);
+}
+
+TEST(Profile, SnapshotSortedByTotalDescending) {
+  reset_profile();
+  {
+    OBS_SCOPE("test.profile.a");
+  }
+  {
+    OBS_SCOPE("test.profile.b");
+  }
+  const auto stats = profile_snapshot();
+  for (std::size_t i = 1; i < stats.size(); ++i)
+    EXPECT_GE(stats[i - 1].total_ns, stats[i].total_ns);
+}
+
+TEST(Profile, ResetZeroesTallies) {
+  {
+    OBS_SCOPE("test.profile.reset");
+  }
+  reset_profile();
+  const auto stats = profile_snapshot();
+  const ProfileStat* s = find_stage(stats, "test.profile.reset");
+  ASSERT_NE(s, nullptr);  // registration persists
+  EXPECT_EQ(s->calls, 0u);
+  EXPECT_EQ(s->total_ns, 0u);
+}
+
+TEST(Profile, KillSwitchDisablesRecording) {
+  reset_profile();
+  set_enabled(false);
+  {
+    OBS_SCOPE("test.profile.disabled");
+  }
+  set_enabled(true);
+  const auto stats = profile_snapshot();
+  const ProfileStat* s = find_stage(stats, "test.profile.disabled");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->calls, 0u);
+}
+
+TEST(Profile, IdsAreStablePerName) {
+  EXPECT_EQ(profile_id("test.profile.stable"),
+            profile_id("test.profile.stable"));
+  EXPECT_NE(profile_id("test.profile.stable"),
+            profile_id("test.profile.other"));
+}
+
+}  // namespace
+}  // namespace ms::obs

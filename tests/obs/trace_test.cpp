@@ -1,0 +1,142 @@
+// Structured tracing: mask parsing, the deterministic clock, event JSON
+// rendering, and the per-shard ring-buffer drop accounting.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace ms::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_mask_ = trace_mask(); }
+  void TearDown() override { set_trace_mask(saved_mask_); }
+  std::uint32_t saved_mask_ = 0;
+};
+
+TEST_F(TraceTest, ParseMaskTokens) {
+  EXPECT_EQ(parse_trace_mask(""), 0u);
+  EXPECT_EQ(parse_trace_mask("ident"),
+            static_cast<std::uint32_t>(Subsystem::Ident));
+  EXPECT_EQ(parse_trace_mask("ident,arq,faults"),
+            static_cast<std::uint32_t>(Subsystem::Ident) |
+                static_cast<std::uint32_t>(Subsystem::Arq) |
+                static_cast<std::uint32_t>(Subsystem::Faults));
+  EXPECT_EQ(parse_trace_mask("all"), kAllSubsystems);
+}
+
+TEST_F(TraceTest, ParseMaskRejectsUnknownToken) {
+  try {
+    parse_trace_mask("ident,bogus");
+    FAIL() << "expected ms::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos)
+        << "error should name the offending token: " << e.what();
+  }
+}
+
+TEST_F(TraceTest, MaskGatesEmission) {
+  const TelemetryShard empty;
+  TelemetryShard s;
+  set_trace_mask(static_cast<std::uint32_t>(Subsystem::Arq));
+  {
+    ShardScope scope(&s);
+    set_trace_cell(0, 0);
+    Event(Subsystem::Ident, Severity::Info, "test.masked").emit();
+    Event(Subsystem::Arq, Severity::Info, "test.passed").emit();
+  }
+  ASSERT_EQ(s.events().size(), 1u);
+  EXPECT_STREQ(s.events()[0].name, "test.passed");
+  (void)empty;
+}
+
+TEST_F(TraceTest, EventsCarryTheDeterministicClock) {
+  TelemetryShard s;
+  set_trace_mask(kAllSubsystems);
+  {
+    ShardScope scope(&s);
+    set_trace_cell(3, 7);
+    set_sim_time(42.5);
+    Event(Subsystem::Faults, Severity::Warn, "test.clock")
+        .f("len", std::size_t{16})
+        .emit();
+  }
+  ASSERT_EQ(s.events().size(), 1u);
+  const TraceEvent& ev = s.events()[0];
+  EXPECT_EQ(ev.point, 3u);
+  EXPECT_EQ(ev.trial, 7u);
+  EXPECT_DOUBLE_EQ(ev.sim_time, 42.5);
+  EXPECT_EQ(ev.severity, Severity::Warn);
+}
+
+TEST_F(TraceTest, EventJsonRendering) {
+  TelemetryShard s;
+  set_trace_mask(kAllSubsystems);
+  {
+    ShardScope scope(&s);
+    set_trace_cell(1, 2);
+    set_sim_time(5.0);
+    Event(Subsystem::Arq, Severity::Info, "arq.retry")
+        .f("attempt", 3)
+        .fs("mode", "ordered")
+        .emit();
+  }
+  ASSERT_EQ(s.events().size(), 1u);
+  const std::string json = event_to_json(s.events()[0]);
+  EXPECT_NE(json.find("\"point\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trial\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"t\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"subsys\": \"arq\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sev\": \"info\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"event\": \"arq.retry\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"attempt\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mode\": \"ordered\""), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, RingOverflowCountsDrops) {
+  TelemetryShard s;
+  set_trace_mask(kAllSubsystems);
+  {
+    ShardScope scope(&s);
+    set_trace_cell(0, 0);
+    for (std::size_t i = 0; i < TelemetryShard::kEventCapacity + 10; ++i)
+      Event(Subsystem::Runner, Severity::Debug, "test.flood").emit();
+  }
+  EXPECT_EQ(s.events().size(), TelemetryShard::kEventCapacity);
+  EXPECT_EQ(s.events_dropped(), 10u);
+
+  // Drops survive the merge.
+  TelemetryShard merged;
+  merged.merge_from(s);
+  EXPECT_EQ(merged.events_dropped(), 10u);
+}
+
+TEST_F(TraceTest, DisabledMaskIsAllNoOps) {
+  TelemetryShard s;
+  set_trace_mask(0);
+  {
+    ShardScope scope(&s);
+    Event(Subsystem::Ident, Severity::Error, "test.silent")
+        .f("x", 1.0)
+        .emit();
+  }
+  EXPECT_TRUE(s.events().empty());
+  EXPECT_EQ(s.events_dropped(), 0u);
+}
+
+TEST_F(TraceTest, SubsystemAndSeverityNames) {
+  EXPECT_STREQ(subsystem_name(Subsystem::Ident), "ident");
+  EXPECT_STREQ(subsystem_name(Subsystem::Overlay), "overlay");
+  EXPECT_STREQ(subsystem_name(Subsystem::Arq), "arq");
+  EXPECT_STREQ(subsystem_name(Subsystem::Faults), "faults");
+  EXPECT_STREQ(subsystem_name(Subsystem::Runner), "runner");
+  EXPECT_STREQ(severity_name(Severity::Debug), "debug");
+  EXPECT_STREQ(severity_name(Severity::Error), "error");
+}
+
+}  // namespace
+}  // namespace ms::obs

@@ -1,5 +1,6 @@
 // The shared bench/experiment flag parser: valid vocabulary parses,
 // everything else is an error (the seed silently ignored unknown flags).
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <vector>
@@ -85,10 +86,49 @@ TEST(Cli, HelpFlag) {
 
 TEST(Cli, UsageNamesEveryFlag) {
   const std::string usage = cli_usage("bench_x");
-  for (const char* flag :
-       {"--threads", "--trials", "--seed", "--out", "--help"})
+  for (const char* flag : {"--threads", "--trials", "--seed", "--out",
+                           "--metrics-out", "--trace-out", "--help"})
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   EXPECT_NE(usage.find("bench_x"), std::string::npos);
+}
+
+TEST(Cli, ParsesTelemetryOutputFlags) {
+  CliOptions o;
+  EXPECT_FALSE(parse({"--metrics-out", "m.json", "--trace-out", "t.jsonl"}, o)
+                   .has_value());
+  EXPECT_EQ(o.metrics_out, "m.json");
+  EXPECT_EQ(o.trace_out, "t.jsonl");
+}
+
+TEST(Cli, TelemetryOutputFlagsDefaultEmpty) {
+  CliOptions o;
+  EXPECT_FALSE(parse({}, o).has_value());
+  EXPECT_TRUE(o.metrics_out.empty());
+  EXPECT_TRUE(o.trace_out.empty());
+}
+
+TEST(Cli, RejectsMissingTelemetryValues) {
+  CliOptions o;
+  EXPECT_TRUE(parse({"--metrics-out"}, o).has_value());
+  EXPECT_TRUE(parse({"--trace-out"}, o).has_value());
+}
+
+TEST(Cli, OrExitCreatesMissingOutDirectories) {
+  // parse_cli_or_exit creates --out and the parents of the telemetry
+  // output files instead of failing later at dump time.
+  const std::string base =
+      std::string(::testing::TempDir()) + "/cli_test_out";
+  std::filesystem::remove_all(base);
+  const std::string out = base + "/nested/run1";
+  const std::string metrics = base + "/telemetry/metrics.json";
+  const char* argv[] = {"bench",          "--out",
+                        out.c_str(),      "--metrics-out",
+                        metrics.c_str()};
+  const CliOptions o = parse_cli_or_exit(5, argv);
+  EXPECT_EQ(o.out_dir, out);
+  EXPECT_TRUE(std::filesystem::is_directory(out));
+  EXPECT_TRUE(std::filesystem::is_directory(base + "/telemetry"));
+  std::filesystem::remove_all(base);
 }
 
 }  // namespace

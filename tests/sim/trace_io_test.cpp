@@ -144,6 +144,73 @@ TEST_F(TraceIoTest, TruncatedPayloadErrorIsDescriptive) {
   }
 }
 
+TEST_F(TraceIoTest, HeaderErrorsNameFieldAndOffset) {
+  // Each header parse error must name the offending field and its byte
+  // offset so corrupt files can be diagnosed with a hex dump.
+  const auto expect_error_mentions =
+      [](const std::string& path, const std::string& field,
+         const std::string& offset) {
+        try {
+          read_trace_header(path);
+          FAIL() << "expected ms::Error for " << field;
+        } catch (const Error& e) {
+          const std::string what = e.what();
+          EXPECT_NE(what.find(field), std::string::npos) << what;
+          EXPECT_NE(what.find(offset), std::string::npos) << what;
+          EXPECT_NE(what.find(path), std::string::npos) << what;
+        }
+      };
+
+  const std::string bad_version = temp_path("field_version.mstr");
+  save_trace(bad_version, Samples(10, 1.0f), 1e6);
+  patch_byte(bad_version, 4, 9);
+  expect_error_mentions(bad_version, "version", "4");
+
+  const std::string bad_elem = temp_path("field_elem.mstr");
+  save_trace(bad_elem, Samples(10, 1.0f), 1e6);
+  patch_byte(bad_elem, 8, 7);
+  expect_error_mentions(bad_elem, "complex_iq", "8");
+
+  const std::string bad_count = temp_path("field_count.mstr");
+  save_trace(bad_count, Samples(100, 1.0f), 1e6);
+  patch_byte(bad_count, 24, 127);
+  expect_error_mentions(bad_count, "n_samples", "24");
+}
+
+TEST_F(TraceIoTest, ShortHeaderErrorReportsByteCounts) {
+  const std::string path = temp_path("short_counts.mstr");
+  std::ofstream(path, std::ios::binary) << "MSTR";  // 4 of 32 bytes
+  try {
+    read_trace_header(path);
+    FAIL() << "expected ms::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("4"), std::string::npos) << what;   // bytes read
+    EXPECT_NE(what.find("32"), std::string::npos) << what;  // header size
+  }
+}
+
+TEST_F(TraceIoTest, TruncatedTraceErrorNamesLastWholeSample) {
+  const std::string path = temp_path("trunc_sample.mstr");
+  save_trace(path, Samples(100, 1.0f), 1e6);
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 10);  // 97 whole floats + 2 stray bytes
+  std::ofstream(path, std::ios::binary)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  try {
+    load_real_trace(path);
+    FAIL() << "expected ms::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("97"), std::string::npos)
+        << "error should report where the payload actually ends: " << what;
+    EXPECT_NE(what.find("100"), std::string::npos) << what;
+  }
+}
+
 TEST_F(TraceIoTest, MissingFileThrows) {
   EXPECT_THROW(load_iq_trace(temp_path("does_not_exist.mstr")), Error);
 }
