@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Full CI sweep: Release build + the four labeled ctest suites (unit,
-# property, integration, golden), then the same suites under ASan+UBSan
-# (-DMS_SANITIZE=ON).  Exits nonzero on the first failing suite.
+# property, integration, golden) — the property label includes the
+# bitpack equivalence suite, so the packed kernels get an ASan+UBSan
+# pass below for free — then the bench-smoke label, a bench-perf smoke
+# of the identification-throughput microbench, and finally the same
+# four suites under ASan+UBSan (-DMS_SANITIZE=ON).  Exits nonzero on
+# the first failing step.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -22,6 +26,17 @@ cmake --build "${repo_root}/build" -j"${jobs}"
 run_suites "${repo_root}/build"
 echo "==> ctest -L bench-smoke (Release only)"
 ctest --test-dir "${repo_root}/build" -L bench-smoke --output-on-failure -j"${jobs}"
+
+echo "==> bench-perf smoke (Release only)"
+# One-trial pass through the identification-throughput microbench: runs
+# the live packed-vs-reference equivalence gate and exercises the
+# metrics plumbing.  Timing numbers on CI hardware are informational;
+# the >=3x acceptance figure is measured on a quiet machine.
+perf_dir="${repo_root}/build/bench-perf"
+mkdir -p "${perf_dir}"
+"${repo_root}/build/bench/bench_ident_throughput" --trials 1 \
+    --out "${perf_dir}" --metrics-out "${perf_dir}/metrics.json"
+"${repo_root}/build/bench/validate_metrics" "${perf_dir}/metrics.json"
 
 echo "=== ASan+UBSan build ==="
 cmake -B "${repo_root}/build-asan" -S "${repo_root}" -DMS_SANITIZE=ON \

@@ -85,6 +85,9 @@ double ProtocolIdentifier::score_one(std::span<const float> trace,
       best = std::max(best, pearson(trace.subspan(off + lp, tmpl.size()), tmpl));
     return best;
   }
+  if (cfg_.onebit_kernel == OneBitKernel::Packed)
+    return packed_one_bit_peak(trace, lo, hi, lp, templates_.one_bit_packed[idx])
+        .score;
   const std::vector<int8_t>& tmpl = templates_.one_bit[idx];
   double best = -1.0;
   for (std::size_t off = lo;
@@ -100,7 +103,28 @@ std::array<double, 4> ProtocolIdentifier::scores(
   OBS_SCOPE("ident.scores");
   const std::size_t onset = detect_onset(adc_trace);
   std::array<double, 4> out{};
-  for (std::size_t i = 0; i < 4; ++i) out[i] = score_one(adc_trace, onset, i);
+  // The packed OneBit kernel scores all four templates in one pass when
+  // they share a bit length (the usual case — clipping in
+  // build_templates can desynchronize them at extreme ADC rates): the
+  // DC threshold and packed live window are computed once per alignment
+  // instead of once per protocol.  Bit-identical to the per-protocol
+  // loop below; only faster.
+  if (cfg_.compute == ComputeMode::OneBit &&
+      cfg_.onebit_kernel == OneBitKernel::Packed &&
+      templates_.one_bit_packed[0].bits == templates_.one_bit_packed[1].bits &&
+      templates_.one_bit_packed[0].bits == templates_.one_bit_packed[2].bits &&
+      templates_.one_bit_packed[0].bits == templates_.one_bit_packed[3].bits) {
+    const std::size_t lp = cfg_.templates.preprocess_len;
+    const std::size_t margin = std::max<std::size_t>(
+        2, static_cast<std::size_t>(cfg_.align_search_s *
+                                    cfg_.templates.adc_rate_hz));
+    const std::size_t lo = onset > margin ? onset - margin : 0;
+    const auto peaks = packed_one_bit_peaks(adc_trace, lo, onset + margin, lp,
+                                            templates_.one_bit_packed);
+    for (std::size_t i = 0; i < 4; ++i) out[i] = peaks[i].score;
+  } else {
+    for (std::size_t i = 0; i < 4; ++i) out[i] = score_one(adc_trace, onset, i);
+  }
   if (obs::trace_enabled(obs::Subsystem::Ident)) {
     obs::set_sim_time(static_cast<double>(onset) /
                       cfg_.templates.adc_rate_hz);

@@ -23,10 +23,20 @@ namespace ms {
 enum class ComputeMode { FullPrecision, OneBit };
 enum class DecisionMode { Blind, Ordered };
 
+/// How the OneBit compute mode scores a window.  Packed is the measured
+/// fast path: 64 positions per uint64_t word, XOR+popcount correlation
+/// (dsp/bitpack.h).  Reference is the original byte-per-position int8
+/// loop, kept as the equivalence oracle — both produce bit-identical
+/// scores, decisions, and alignment offsets (enforced by
+/// tests/property/bitpack_property_test.cpp; measured by
+/// bench_ident_throughput).
+enum class OneBitKernel { Packed, Reference };
+
 struct IdentifierConfig {
   TemplateParams templates;
   ComputeMode compute = ComputeMode::FullPrecision;
   DecisionMode decision = DecisionMode::Blind;
+  OneBitKernel onebit_kernel = OneBitKernel::Packed;
   double blind_min_score = 0.25;  ///< below this, blind matching says "no packet"
   /// Correlation is gated on the energy-detection edge: alignments are
   /// searched only within ±align_search_s of the detected packet onset.

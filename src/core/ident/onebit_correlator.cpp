@@ -1,70 +1,27 @@
 #include "core/ident/onebit_correlator.h"
 
-#include <bit>
-
 #include "common/error.h"
 
 namespace ms {
 
-PackedBits::PackedBits(std::span<const int8_t> signs) : size_(signs.size()) {
-  words_.assign((size_ + 63) / 64, 0);
-  for (std::size_t i = 0; i < size_; ++i)
-    if (signs[i] > 0) words_[i / 64] |= (std::uint64_t{1} << (i % 64));
-}
+PackedBits::PackedBits(std::span<const int8_t> signs)
+    : packed_(bitpack::pack_signs(signs)) {}
 
 long PackedBits::dot(const PackedBits& other) const {
-  MS_CHECK(size_ == other.size_);
-  if (size_ == 0) return 0;
-  std::size_t disagreements = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    std::uint64_t x = words_[w] ^ other.words_[w];
-    // Mask the padding bits of the final word.
-    if (w + 1 == words_.size() && size_ % 64 != 0)
-      x &= (std::uint64_t{1} << (size_ % 64)) - 1;
-    disagreements += static_cast<std::size_t>(std::popcount(x));
-  }
-  return static_cast<long>(size_) - 2 * static_cast<long>(disagreements);
+  MS_CHECK(size() == other.size());
+  return bitpack::packed_dot(packed_.words, other.packed_.words, size());
 }
 
 double PackedBits::correlation(const PackedBits& other) const {
-  if (size_ == 0) return 0.0;
-  return static_cast<double>(dot(other)) / static_cast<double>(size_);
+  MS_CHECK(size() == other.size());
+  return bitpack::packed_sign_correlation(packed_.words, other.packed_.words,
+                                          size());
 }
 
 std::vector<double> packed_sliding_correlation(
     std::span<const int8_t> stream, const PackedBits& tmpl) {
-  if (stream.size() < tmpl.size() || tmpl.size() == 0) return {};
-  std::vector<double> out;
-  out.reserve(stream.size() - tmpl.size() + 1);
-  // Pack the whole stream once; per offset, rebuild the window via
-  // word-aligned shifts (the FPGA streams samples through a shift
-  // register, which this emulates 64 positions at a time).
-  const PackedBits packed(stream);
-  const std::vector<std::uint64_t>& sw = packed.words();
-  const std::size_t len = tmpl.size();
-  const std::size_t n_words = (len + 63) / 64;
-
-  std::vector<std::uint64_t> window(n_words);
-  for (std::size_t off = 0; off + len <= stream.size(); ++off) {
-    const std::size_t word0 = off / 64;
-    const unsigned shift = off % 64;
-    for (std::size_t w = 0; w < n_words; ++w) {
-      std::uint64_t lo = sw[word0 + w] >> shift;
-      if (shift != 0 && word0 + w + 1 < sw.size())
-        lo |= sw[word0 + w + 1] << (64 - shift);
-      window[w] = lo;
-    }
-    std::size_t disagreements = 0;
-    for (std::size_t w = 0; w < n_words; ++w) {
-      std::uint64_t x = window[w] ^ tmpl.words()[w];
-      if (w + 1 == n_words && len % 64 != 0)
-        x &= (std::uint64_t{1} << (len % 64)) - 1;
-      disagreements += static_cast<std::size_t>(std::popcount(x));
-    }
-    out.push_back((static_cast<double>(len) - 2.0 * disagreements) /
-                  static_cast<double>(len));
-  }
-  return out;
+  return bitpack::sliding_sign_correlation(bitpack::pack_signs(stream),
+                                           tmpl.packed());
 }
 
 }  // namespace ms

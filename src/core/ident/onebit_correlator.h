@@ -6,12 +6,15 @@
 // i.e. an XNOR array feeding a popcount adder tree: no multipliers, which
 // is exactly the Table 2 "Nano FPGA Impl." circuit.  This class is the
 // software twin of that circuit: bit-exact against the reference
-// sign_correlation() and ~64× denser.
+// sign_correlation() and ~64× denser.  The word-level kernels live in
+// dsp/bitpack.h; this header keeps the ident-side vocabulary type.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "dsp/bitpack.h"
 
 namespace ms {
 
@@ -21,8 +24,9 @@ class PackedBits {
   PackedBits() = default;
   explicit PackedBits(std::span<const int8_t> signs);
 
-  std::size_t size() const { return size_; }
-  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::size_t size() const { return packed_.bits; }
+  const std::vector<std::uint64_t>& words() const { return packed_.words; }
+  const bitpack::PackedVec& packed() const { return packed_; }
 
   /// Sum of products Σ aᵢ·bᵢ via XNOR + popcount; sizes must match.
   long dot(const PackedBits& other) const;
@@ -31,8 +35,7 @@ class PackedBits {
   double correlation(const PackedBits& other) const;
 
  private:
-  std::vector<std::uint64_t> words_;
-  std::size_t size_ = 0;
+  bitpack::PackedVec packed_;
 };
 
 /// Sliding packed correlation of a long ±1 stream against a template:

@@ -71,6 +71,16 @@ std::vector<int8_t> one_bit_window(std::span<const float> trace,
                                    std::size_t offset, std::size_t lp,
                                    std::size_t lt) {
   MS_CHECK(offset + lp + lt <= trace.size());
+  const double thr = one_bit_threshold(trace, offset, lp, lt);
+  std::vector<int8_t> out(lt);
+  for (std::size_t i = 0; i < lt; ++i)
+    out[i] = trace[offset + lp + i] >= thr ? 1 : -1;
+  return out;
+}
+
+double one_bit_threshold(std::span<const float> trace, std::size_t offset,
+                         std::size_t lp, std::size_t lt) {
+  MS_CHECK(offset + lp + lt <= trace.size());
   double thr = 0.0;
   if (lp > 0) {
     for (std::size_t i = 0; i < lp; ++i) thr += trace[offset + i];
@@ -79,10 +89,66 @@ std::vector<int8_t> one_bit_window(std::span<const float> trace,
     for (std::size_t i = 0; i < lt; ++i) thr += trace[offset + i];
     thr /= static_cast<double>(lt);
   }
-  std::vector<int8_t> out(lt);
-  for (std::size_t i = 0; i < lt; ++i)
-    out[i] = trace[offset + lp + i] >= thr ? 1 : -1;
-  return out;
+  return thr;
+}
+
+OneBitPeak packed_one_bit_peak(std::span<const float> trace, std::size_t lo,
+                               std::size_t hi, std::size_t lp,
+                               const bitpack::PackedVec& tmpl) {
+  OneBitPeak best;
+  const std::size_t lt = tmpl.bits;
+  if (lt == 0) return best;
+  // One scratch buffer reused across offsets (the reference path pays a
+  // heap allocation per alignment here — that, plus the byte-per-position
+  // correlation, is what the packed kernel removes).  The scan compares
+  // raw integer dots and divides once at the end: score = dot / L_t with
+  // L_t > 0 is monotone in dot, and starting from dot = −L_t reproduces
+  // the reference's strict `score > −1.0` update rule exactly (an
+  // all-disagree alignment never displaces the initial offset 0).
+  std::vector<std::uint64_t> window(bitpack::words_for(lt));
+  long best_dot = -static_cast<long>(lt);
+  for (std::size_t off = lo; off <= hi && off + lp + lt <= trace.size();
+       ++off) {
+    const double thr = one_bit_threshold(trace, off, lp, lt);
+    bitpack::pack_threshold(trace.subspan(off + lp, lt), thr, window);
+    const long dot = bitpack::packed_dot(window, tmpl.words, lt);
+    if (dot > best_dot) {
+      best_dot = dot;
+      best.offset = off;
+    }
+  }
+  if (best_dot > -static_cast<long>(lt))
+    best.score = static_cast<double>(best_dot) / static_cast<double>(lt);
+  return best;
+}
+
+std::array<OneBitPeak, 4> packed_one_bit_peaks(
+    std::span<const float> trace, std::size_t lo, std::size_t hi,
+    std::size_t lp, const std::array<bitpack::PackedVec, 4>& tmpls) {
+  std::array<OneBitPeak, 4> best;
+  const std::size_t lt = tmpls[0].bits;
+  for (const auto& t : tmpls) MS_CHECK(t.bits == lt);
+  if (lt == 0) return best;
+  std::vector<std::uint64_t> window(bitpack::words_for(lt));
+  std::array<long, 4> best_dot;
+  best_dot.fill(-static_cast<long>(lt));
+  for (std::size_t off = lo; off <= hi && off + lp + lt <= trace.size();
+       ++off) {
+    const double thr = one_bit_threshold(trace, off, lp, lt);
+    bitpack::pack_threshold(trace.subspan(off + lp, lt), thr, window);
+    for (std::size_t t = 0; t < 4; ++t) {
+      const long dot = bitpack::packed_dot(window, tmpls[t].words, lt);
+      if (dot > best_dot[t]) {
+        best_dot[t] = dot;
+        best[t].offset = off;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < 4; ++t)
+    if (best_dot[t] > -static_cast<long>(lt))
+      best[t].score =
+          static_cast<double>(best_dot[t]) / static_cast<double>(lt);
+  return best;
 }
 
 TemplateSet build_templates(const TemplateParams& params) {
@@ -111,6 +177,7 @@ TemplateSet build_templates(const TemplateParams& params) {
     const std::span<const float> window(trace.data() + lp, lt);
     set.matched[idx] = normalize(window);
     set.one_bit[idx] = one_bit_window(trace, 0, lp, lt);
+    set.one_bit_packed[idx] = bitpack::pack_signs(set.one_bit[idx]);
   }
   return set;
 }

@@ -11,6 +11,7 @@
 #include "phy/dsss/wifi_b.h"
 #include "phy/ofdm/wifi_n.h"
 #include "phy/zigbee/zigbee.h"
+#include "sim/runner/waveform_cache.h"
 
 namespace ms {
 
@@ -36,47 +37,76 @@ std::size_t IdentResult::trials(Protocol p) const {
 
 namespace {
 
+/// Cache lookup helper: key the drawn random content under the
+/// Excitation kind and synthesize via `synth` on first sight.  Returns
+/// a mutable copy so downstream channel/fault stages can edit in place.
+Iq cached_excitation(Protocol p, std::vector<std::uint8_t> drawn,
+                     const std::function<Iq()>& synth) {
+  WaveformKey key;
+  key.kind = WaveformKind::Excitation;
+  key.protocol = static_cast<std::uint8_t>(protocol_index(p));
+  key.payload = std::move(drawn);
+  return Iq(*WaveformCache::instance().get_or_synthesize(key, synth));
+}
+
 /// Packet-start waveform as the tag hears it: the deterministic
 /// packet-detection region followed by random payload (a real packet
 /// does not stop after its preamble, and template windows may extend
 /// into the payload-adjacent region).
+///
+/// Caching discipline: every random draw happens HERE, before the cache
+/// lookup, in the exact order the uncached code drew — the Rng stream,
+/// and therefore every downstream jitter/noise/amplitude draw, is
+/// untouched.  The drawn content becomes the cache key; the synthesis
+/// closure is a pure function of it.
 Iq excitation_waveform(Protocol p, const IdentTrialConfig& cfg, Rng& rng) {
-  Iq iq = clean_preamble(p, /*extended=*/true);
   switch (p) {
     case Protocol::WifiB: {
       // The long preamble continues well past 40 µs; use more of it.
-      WifiBConfig phy_cfg;
-      phy_cfg.short_preamble =
+      const bool short_preamble =
           rng.chance(cfg.wifi_b_short_preamble_fraction);
-      const WifiBPhy phy(phy_cfg);
-      Iq full = phy.preamble_waveform();
-      full.resize(std::min<std::size_t>(
-          full.size(), static_cast<std::size_t>(80e-6 * phy.sample_rate_hz())));
-      return full;
+      return cached_excitation(
+          p, {static_cast<std::uint8_t>(short_preamble)}, [&] {
+            WifiBConfig phy_cfg;
+            phy_cfg.short_preamble = short_preamble;
+            const WifiBPhy phy(phy_cfg);
+            Iq full = phy.preamble_waveform();
+            full.resize(std::min<std::size_t>(
+                full.size(),
+                static_cast<std::size_t>(80e-6 * phy.sample_rate_hz())));
+            return full;
+          });
     }
     case Protocol::WifiN: {
-      const WifiNPhy phy;
       const Bits coded = rng.bits(48 * 10);  // 40 µs of payload symbols
-      const Iq body = phy.modulate_coded_symbols(coded);
-      iq.insert(iq.end(), body.begin(), body.end());
-      return iq;
+      return cached_excitation(p, coded, [&] {
+        const WifiNPhy phy;
+        Iq iq = clean_preamble(p, /*extended=*/true);
+        const Iq body = phy.modulate_coded_symbols(coded);
+        iq.insert(iq.end(), body.begin(), body.end());
+        return iq;
+      });
     }
     case Protocol::Ble: {
-      const BlePhy phy;
-      Bits air = phy.preamble_bits();
       const Bits payload = rng.bits(40);
-      air.insert(air.end(), payload.begin(), payload.end());
-      return phy.modulate_bits(air);
+      return cached_excitation(p, payload, [&] {
+        const BlePhy phy;
+        Bits air = phy.preamble_bits();
+        air.insert(air.end(), payload.begin(), payload.end());
+        return phy.modulate_bits(air);
+      });
     }
     case Protocol::Zigbee: {
-      const ZigbeePhy phy;
       std::vector<uint8_t> symbols(8, 0);  // preamble
       for (int i = 0; i < 3; ++i)
         symbols.push_back(static_cast<uint8_t>(rng.uniform_int(16)));
-      return phy.modulate_symbols(symbols);
+      return cached_excitation(p, symbols, [&] {
+        const ZigbeePhy phy;
+        return phy.modulate_symbols(symbols);
+      });
     }
   }
-  return iq;
+  return {};
 }
 
 }  // namespace

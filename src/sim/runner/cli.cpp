@@ -9,6 +9,7 @@
 #include "obs/profile.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "sim/runner/waveform_cache.h"
 
 namespace ms {
 
@@ -92,6 +93,11 @@ std::optional<std::string> parse_cli(int argc, const char* const* argv,
       const auto v = value("--trace-out");
       if (!v) return "--trace-out expects a file path";
       opts.trace_out = *v;
+    } else if (arg == "--waveform-cache") {
+      const auto v = value("--waveform-cache");
+      if (!v || (*v != "on" && *v != "off"))
+        return "--waveform-cache expects 'on' or 'off'";
+      opts.waveform_cache = (*v == "on");
     } else if (!arg.empty() && arg[0] == '-') {
       return "unknown flag: " + arg;
     } else {
@@ -109,7 +115,7 @@ std::string cli_usage(const char* prog) {
   u += prog;
   u +=
       " [--threads N] [--trials N] [--seed S] [--out DIR]\n"
-      "       [--metrics-out FILE] [--trace-out FILE]\n"
+      "       [--metrics-out FILE] [--trace-out FILE] [--waveform-cache on|off]\n"
       "  --threads N        trial-engine worker threads (default: all cores)\n"
       "  --trials N         override the default trial count\n"
       "  --seed S           override the default master seed\n"
@@ -117,6 +123,10 @@ std::string cli_usage(const char* prog) {
       "  --metrics-out FILE write the aggregated metrics registry as JSON\n"
       "  --trace-out FILE   write structured trace events as JSONL; all\n"
       "                     subsystems trace unless MS_TRACE narrows them\n"
+      "  --waveform-cache on|off\n"
+      "                     reuse synthesized waveforms across trials\n"
+      "                     (default on; results are bit-identical either\n"
+      "                     way, off only trades speed for nothing)\n"
       "  --help             show this message\n";
   return u;
 }
@@ -144,6 +154,7 @@ CliOptions parse_cli_or_exit(int argc, const char* const* argv) {
   // an empty JSONL file from a forgotten env var is a silent footgun.
   if (!opts.trace_out.empty() && obs::trace_mask() == 0)
     obs::set_trace_mask(obs::kAllSubsystems);
+  WaveformCache::instance().set_reuse_enabled(opts.waveform_cache);
   return opts;
 }
 

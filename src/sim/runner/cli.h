@@ -8,6 +8,10 @@
 //   --metrics-out F   write the deterministic metrics registry to F (JSON)
 //   --trace-out F     write structured trace events to F (JSONL); enables
 //                     all trace subsystems unless MS_TRACE narrows them
+//   --waveform-cache on|off
+//                     reuse synthesized waveforms across trials (default
+//                     on; off re-synthesizes every trial — the bitwise
+//                     oracle for the cached path)
 //   --help            print usage and exit 0
 // plus, for backward compatibility with the original benches, a single
 // bare positional argument which is treated as --out.  Anything else is
@@ -29,6 +33,7 @@ struct CliOptions {
   std::string out_dir;        ///< empty = no CSV dump
   std::string metrics_out;    ///< empty = no metrics JSON dump
   std::string trace_out;      ///< empty = no trace JSONL dump
+  bool waveform_cache = true; ///< reuse synthesized waveforms across trials
   bool help = false;
 };
 

@@ -25,6 +25,7 @@
 #include "common/rng.h"
 #include "obs/telemetry.h"
 #include "sim/runner/thread_pool.h"
+#include "sim/runner/waveform_cache.h"
 
 namespace ms {
 
@@ -36,7 +37,13 @@ struct RunnerConfig {
 class TrialRunner {
  public:
   explicit TrialRunner(const RunnerConfig& cfg)
-      : cfg_(cfg), master_(cfg.master_seed), pool_(cfg.threads) {}
+      : cfg_(cfg), master_(cfg.master_seed), pool_(cfg.threads) {
+    // Each runner opens a fresh waveform-cache accounting epoch, so the
+    // cache hit/miss counters a sweep records are a pure function of
+    // that sweep's own draws — never of what earlier sweeps in the same
+    // process happened to synthesize (see waveform_cache.h).
+    WaveformCache::instance().begin_epoch();
+  }
 
   std::size_t threads() const { return pool_.size(); }
   const RunnerConfig& config() const { return cfg_; }

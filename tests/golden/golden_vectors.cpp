@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/bits.h"
+#include "core/ident/templates.h"
 #include "core/overlay/frame.h"
 #include "dsp/iq.h"
 #include "phy/dsss/barker.h"
@@ -104,11 +105,49 @@ Vector overlay_vector() {
   return v;
 }
 
+// Packed 1-bit identification templates: for the Fig 7 operating point
+// (10 Msps, L_p 20 / L_t 60) and the Fig 5b reference point (20 Msps,
+// L_p 40 / L_t 120), the bit-packed template of each protocol as hex
+// words.  One line per protocol per configuration:
+//   <protocol> <lp> <lt> <nbits> <word0> <word1> ...
+// Pins the entire template chain (PHY synthesis → front end → ADC →
+// 1-bit quantization → bit packing): a drift in any stage flips bits.
+Vector packed_template_vector() {
+  Vector v{"ident_packed_templates.txt", {}};
+  struct Config {
+    double adc_rate_hz;
+    std::size_t lp, lt;
+  };
+  const Config configs[] = {{10e6, 20, 60}, {20e6, 40, 120}};
+  for (const Config& c : configs) {
+    TemplateParams params;
+    params.adc_rate_hz = c.adc_rate_hz;
+    params.preprocess_len = c.lp;
+    params.match_len = c.lt;
+    const TemplateSet set = build_templates(params);
+    for (Protocol p : kAllProtocols) {
+      const bitpack::PackedVec& packed =
+          set.one_bit_packed[protocol_index(p)];
+      std::string line(protocol_name(p));
+      char buf[32];
+      std::snprintf(buf, sizeof buf, " %zu %zu %zu", c.lp, c.lt, packed.bits);
+      line += buf;
+      for (std::uint64_t w : packed.words) {
+        std::snprintf(buf, sizeof buf, " 0x%016llx",
+                      static_cast<unsigned long long>(w));
+        line += buf;
+      }
+      v.lines.push_back(line);
+    }
+  }
+  return v;
+}
+
 }  // namespace
 
 std::vector<Vector> build_all() {
-  return {barker_vector(), cck_vector(), ble_vector(), zigbee_vector(),
-          overlay_vector()};
+  return {barker_vector(),  cck_vector(),    ble_vector(),
+          zigbee_vector(),  overlay_vector(), packed_template_vector()};
 }
 
 }  // namespace ms::golden

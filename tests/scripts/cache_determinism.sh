@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Cache-determinism gate for the waveform cache (ISSUE 5 satellite b).
+#
+# Runs bench_fig7_ordered four ways — {--threads 1, --threads 8} ×
+# {--waveform-cache on, --waveform-cache off} — with a fixed seed and
+# trial count, then byte-compares the metrics JSON and both confusion
+# CSVs across all four runs.  This is the end-to-end proof of the two
+# cache invariants:
+#   1. cached waveforms are bit-identical to fresh synthesis (confusion
+#      matrices cannot move), and
+#   2. hit/miss accounting is thread-count- and reuse-independent (the
+#      metrics JSON, which embeds runner.waveform_cache_* counters,
+#      cannot move either).
+#
+# usage: cache_determinism.sh <bench_fig7_ordered binary> <workdir>
+set -euo pipefail
+
+bench="$1"
+workdir="$2"
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+
+run() {
+  local name="$1" threads="$2" cache="$3"
+  local dir="$workdir/$name"
+  mkdir -p "$dir"
+  "$bench" --trials 2 --seed 7 --threads "$threads" \
+    --waveform-cache "$cache" --out "$dir" \
+    --metrics-out "$dir/metrics.json" >"$dir/stdout.txt" 2>"$dir/stderr.txt"
+}
+
+run t1_on 1 on
+run t8_on 8 on
+run t1_off 1 off
+run t8_off 8 off
+
+for f in metrics.json fig7_blind_confusion.csv fig7_ordered_confusion.csv; do
+  for variant in t8_on t1_off t8_off; do
+    if ! cmp -s "$workdir/t1_on/$f" "$workdir/$variant/$f"; then
+      echo "FAIL: $f differs between t1_on and $variant" >&2
+      diff "$workdir/t1_on/$f" "$workdir/$variant/$f" >&2 || true
+      exit 1
+    fi
+  done
+done
+
+echo "cache determinism: metrics + confusion byte-identical across 4 runs"

@@ -86,10 +86,28 @@ TEST(Cli, HelpFlag) {
 
 TEST(Cli, UsageNamesEveryFlag) {
   const std::string usage = cli_usage("bench_x");
-  for (const char* flag : {"--threads", "--trials", "--seed", "--out",
-                           "--metrics-out", "--trace-out", "--help"})
+  for (const char* flag :
+       {"--threads", "--trials", "--seed", "--out", "--metrics-out",
+        "--trace-out", "--waveform-cache", "--help"})
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   EXPECT_NE(usage.find("bench_x"), std::string::npos);
+}
+
+TEST(Cli, WaveformCacheFlag) {
+  CliOptions o;
+  EXPECT_FALSE(parse({}, o).has_value());
+  EXPECT_TRUE(o.waveform_cache);  // default on
+  EXPECT_FALSE(parse({"--waveform-cache", "off"}, o).has_value());
+  EXPECT_FALSE(o.waveform_cache);
+  EXPECT_FALSE(parse({"--waveform-cache", "on"}, o).has_value());
+  EXPECT_TRUE(o.waveform_cache);
+}
+
+TEST(Cli, RejectsBadWaveformCacheValue) {
+  CliOptions o;
+  EXPECT_TRUE(parse({"--waveform-cache"}, o).has_value());
+  EXPECT_TRUE(parse({"--waveform-cache", "maybe"}, o).has_value());
+  EXPECT_TRUE(parse({"--waveform-cache", "1"}, o).has_value());
 }
 
 TEST(Cli, ParsesTelemetryOutputFlags) {

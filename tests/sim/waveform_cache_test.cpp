@@ -1,0 +1,188 @@
+// WaveformCache unit contract (ISSUE 5): once-per-key synthesis,
+// epoch-scoped accounting that is identical with reuse on or off, shard
+// merge behaviour of the cache counters, and end-to-end invariance of
+// run_ident_experiment results under every cache/thread combination.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "sim/ident_experiment.h"
+#include "sim/runner/waveform_cache.h"
+
+namespace ms {
+namespace {
+
+WaveformKey key_of(std::uint8_t proto, std::vector<std::uint8_t> payload) {
+  WaveformKey k;
+  k.kind = WaveformKind::Excitation;
+  k.protocol = proto;
+  k.payload = std::move(payload);
+  return k;
+}
+
+/// Every test starts from a cold cache with reuse enabled and puts the
+/// global cache back the way it found it.
+class WaveformCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WaveformCache::instance().clear();
+    WaveformCache::instance().set_reuse_enabled(true);
+    WaveformCache::instance().begin_epoch();
+  }
+  void TearDown() override {
+    WaveformCache::instance().clear();
+    WaveformCache::instance().set_reuse_enabled(true);
+  }
+};
+
+TEST_F(WaveformCacheTest, SynthesizesOncePerKey) {
+  WaveformCache& cache = WaveformCache::instance();
+  int synth_calls = 0;
+  const auto synth = [&] {
+    ++synth_calls;
+    return Iq(17, Cf(1.0f, -1.0f));
+  };
+  const auto a = cache.get_or_synthesize(key_of(0, {1, 2, 3}), synth);
+  const auto b = cache.get_or_synthesize(key_of(0, {1, 2, 3}), synth);
+  const auto c = cache.get_or_synthesize(key_of(0, {1, 2, 4}), synth);
+  EXPECT_EQ(synth_calls, 2);  // two distinct keys
+  EXPECT_EQ(a.get(), b.get());  // shared, not copied
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.entries(), 2u);
+
+  const WaveformCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.synth_samples, 2u * 17u);
+}
+
+TEST_F(WaveformCacheTest, DisabledReuseSynthesizesFreshButAccountsTheSame) {
+  WaveformCache& cache = WaveformCache::instance();
+  cache.set_reuse_enabled(false);
+  int synth_calls = 0;
+  const auto synth = [&] {
+    ++synth_calls;
+    return Iq(9);
+  };
+  const auto a = cache.get_or_synthesize(key_of(1, {7}), synth);
+  const auto b = cache.get_or_synthesize(key_of(1, {7}), synth);
+  EXPECT_EQ(synth_calls, 2);    // no reuse: every lookup synthesizes
+  EXPECT_NE(a.get(), b.get());  // distinct fresh copies
+  EXPECT_EQ(*a, *b);            // ... of identical content
+
+  // Accounting must match what the reuse-enabled path would record for
+  // the same lookup sequence — that is what makes the metrics JSON
+  // byte-identical with --waveform-cache on vs off.
+  const WaveformCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.synth_samples, 9u);
+}
+
+TEST_F(WaveformCacheTest, EpochResetsAccountingButKeepsWaveforms) {
+  WaveformCache& cache = WaveformCache::instance();
+  int synth_calls = 0;
+  const auto synth = [&] {
+    ++synth_calls;
+    return Iq(5);
+  };
+  (void)cache.get_or_synthesize(key_of(2, {1}), synth);
+  cache.begin_epoch();
+  (void)cache.get_or_synthesize(key_of(2, {1}), synth);
+
+  // Second epoch: the lookup is accounted as a miss again (accounting
+  // is a pure function of the epoch's own draws), but the waveform is
+  // served from the cache — no second synthesis.
+  EXPECT_EQ(synth_calls, 1);
+  const WaveformCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.synth_samples, 2u * 5u);
+}
+
+TEST_F(WaveformCacheTest, CountersMergeAcrossShardsLikeAnyCounter) {
+  // The cache counters must ride the standard shard-merge path: two
+  // shards recording hits/misses independently aggregate to the sum,
+  // and the metric names appear in the JSON output.
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::reset_aggregate();
+
+  WaveformCache& cache = WaveformCache::instance();
+  int synth_calls = 0;
+  const auto synth = [&] {
+    ++synth_calls;
+    return Iq(3);
+  };
+  obs::TelemetryShard s1, s2;
+  {
+    obs::ShardScope scope(&s1);
+    (void)cache.get_or_synthesize(key_of(3, {1}), synth);  // miss
+    (void)cache.get_or_synthesize(key_of(3, {1}), synth);  // hit
+  }
+  {
+    obs::ShardScope scope(&s2);
+    (void)cache.get_or_synthesize(key_of(3, {2}), synth);  // miss
+  }
+  obs::aggregate_merge(s1);
+  obs::aggregate_merge(s2);
+
+  const std::string json = obs::metrics_json_string();
+  EXPECT_NE(json.find("\"runner.waveform_cache_hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"runner.waveform_cache_miss\""), std::string::npos);
+  EXPECT_NE(json.find("\"runner.waveform_cache_synth_samples\""),
+            std::string::npos);
+
+  const WaveformCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 1u);
+
+  obs::reset_aggregate();
+  obs::set_enabled(was_enabled);
+}
+
+IdentTrialConfig small_cfg(std::size_t threads) {
+  IdentTrialConfig cfg;
+  cfg.ident.templates.adc_rate_hz = 10e6;
+  cfg.ident.templates.preprocess_len = 20;
+  cfg.ident.templates.match_len = 60;
+  cfg.ident.compute = ComputeMode::OneBit;
+  cfg.seed = 23;
+  cfg.threads = threads;
+  return cfg;
+}
+
+bool same_confusion(const IdentResult& a, const IdentResult& b) {
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      if (a.confusion[i][j] != b.confusion[i][j]) return false;
+  return true;
+}
+
+TEST_F(WaveformCacheTest, IdentExperimentInvariantUnderCacheAndThreads) {
+  // The load-bearing guarantee: cached waveforms are bit-identical to
+  // fresh synthesis, so the confusion matrix cannot move — cache on or
+  // off, one thread or four, warm cache or cold.
+  const IdentResult cold = run_ident_experiment(small_cfg(1), 4);
+  const IdentResult warm = run_ident_experiment(small_cfg(1), 4);
+  EXPECT_TRUE(same_confusion(cold, warm));
+
+  const IdentResult threaded = run_ident_experiment(small_cfg(4), 4);
+  EXPECT_TRUE(same_confusion(cold, threaded));
+
+  WaveformCache::instance().set_reuse_enabled(false);
+  const IdentResult uncached = run_ident_experiment(small_cfg(1), 4);
+  EXPECT_TRUE(same_confusion(cold, uncached));
+
+  // And the warm replay of an identical sweep must have synthesized
+  // nothing new: every excitation came out of the cache.
+  WaveformCache::instance().set_reuse_enabled(true);
+  const std::size_t entries_before = WaveformCache::instance().entries();
+  (void)run_ident_experiment(small_cfg(1), 4);
+  EXPECT_EQ(WaveformCache::instance().entries(), entries_before);
+}
+
+}  // namespace
+}  // namespace ms
