@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Full CI sweep: Release build + the four labeled ctest suites (unit,
 # property, integration, golden) — the property label includes the
-# bitpack equivalence suite, so the packed kernels get an ASan+UBSan
-# pass below for free — then the bench-smoke label, a bench-perf smoke
-# of the identification-throughput microbench, and finally the same
-# four suites under ASan+UBSan (-DMS_SANITIZE=ON).  Exits nonzero on
-# the first failing step.
+# bitpack equivalence and multipath-trajectory suites, and the unit
+# label the workload/degradation/time-varying-channel suites, so all of
+# them get an ASan+UBSan pass below for free — then the bench-smoke
+# label (which includes bench_robustness_workloads plus its threads-1
+# vs threads-8 byte-identity gate), a bench-perf smoke of the
+# identification-throughput microbench, and finally the same four
+# suites under ASan+UBSan (-DMS_SANITIZE=ON).  Exits nonzero on the
+# first failing step.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

@@ -1,0 +1,162 @@
+#include "channel/timevarying.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace ms {
+
+double bessel_j0(double x) {
+  // Abramowitz & Stegun 9.4.1 (|x| ≤ 3) and 9.4.3 (|x| > 3).
+  const double ax = std::fabs(x);
+  if (ax <= 3.0) {
+    const double t = x * x / 9.0;
+    return 1.0 +
+           t * (-2.2499997 +
+                t * (1.2656208 +
+                     t * (-0.3163866 +
+                          t * (0.0444479 +
+                               t * (-0.0039444 + t * 0.0002100)))));
+  }
+  const double t = 3.0 / ax;
+  const double f0 =
+      0.79788456 +
+      t * (-0.00000077 +
+           t * (-0.00552740 +
+                t * (-0.00009512 +
+                     t * (0.00137237 +
+                          t * (-0.00072805 + t * 0.00014476)))));
+  const double theta0 =
+      ax - 0.78539816 +
+      t * (-0.04166397 +
+           t * (-0.00003954 +
+                t * (0.00262573 +
+                     t * (-0.00054125 +
+                          t * (-0.00029333 + t * 0.00013558)))));
+  return f0 * std::cos(theta0) / std::sqrt(ax);
+}
+
+double clarke_rho(double doppler_hz, double step_time_s) {
+  MS_CHECK(doppler_hz >= 0.0);
+  MS_CHECK(step_time_s > 0.0);
+  const double rho = bessel_j0(2.0 * M_PI * doppler_hz * step_time_s);
+  if (rho < 0.0) return 0.0;     // past the first J0 zero: decorrelated
+  if (rho >= 1.0) return 1.0;
+  return rho;
+}
+
+// --- mobility ---------------------------------------------------------
+
+MobilityTrajectory::MobilityTrajectory(const MobilityConfig& cfg)
+    : cfg_(cfg),
+      distance_m_(cfg.start_m),
+      velocity_mps_(cfg.speed_mps) {
+  MS_CHECK_MSG(cfg_.min_m > 0.0, "mobility bounds must keep distance > 0");
+  MS_CHECK_MSG(cfg_.min_m < cfg_.max_m, "mobility bounds inverted");
+  MS_CHECK_MSG(cfg_.start_m >= cfg_.min_m && cfg_.start_m <= cfg_.max_m,
+               "mobility start outside [min, max]");
+  MS_CHECK(cfg_.slot_time_s > 0.0);
+}
+
+double MobilityTrajectory::step() {
+  distance_m_ += velocity_mps_ * cfg_.slot_time_s;
+  // Reflect at the bounds (a walker turning around at the wall).
+  if (distance_m_ > cfg_.max_m) {
+    distance_m_ = 2.0 * cfg_.max_m - distance_m_;
+    velocity_mps_ = -velocity_mps_;
+  }
+  if (distance_m_ < cfg_.min_m) {
+    distance_m_ = 2.0 * cfg_.min_m - distance_m_;
+    velocity_mps_ = -velocity_mps_;
+  }
+  // A single reflection step cannot overshoot both bounds unless the
+  // per-slot stride exceeds the corridor itself.
+  MS_CHECK_MSG(distance_m_ >= cfg_.min_m && distance_m_ <= cfg_.max_m,
+               "mobility stride larger than [min, max] corridor");
+  return distance_m_;
+}
+
+// --- slow shadowing ---------------------------------------------------
+
+ShadowingProcess::ShadowingProcess(const ShadowingConfig& cfg) : cfg_(cfg) {
+  MS_CHECK(cfg_.sigma_db >= 0.0);
+  MS_CHECK(cfg_.coherence_slots > 0.0);
+  rho_ = std::exp(-1.0 / cfg_.coherence_slots);
+}
+
+double ShadowingProcess::step(Rng& rng) {
+  if (cfg_.sigma_db == 0.0) return 0.0;
+  if (!primed_) {
+    // Start from the stationary distribution, not from 0, so the first
+    // slots are statistically identical to the millionth.
+    value_db_ = rng.normal(0.0, cfg_.sigma_db);
+    primed_ = true;
+    return value_db_;
+  }
+  const double innovation = std::sqrt(1.0 - rho_ * rho_) * cfg_.sigma_db;
+  value_db_ = rho_ * value_db_ + rng.normal(0.0, innovation);
+  return value_db_;
+}
+
+// --- small-scale fading ----------------------------------------------
+
+FadingProcess::FadingProcess(const FadingConfig& cfg) : cfg_(cfg) {
+  MS_CHECK(cfg_.doppler_hz >= 0.0);
+  MS_CHECK(cfg_.slot_time_s > 0.0);
+  rho_ = clarke_rho(cfg_.doppler_hz, cfg_.slot_time_s);
+  const double k = db_to_linear(cfg_.k_factor_db);
+  los_amp_ = std::sqrt(k / (1.0 + k));
+  scatter_sigma_ = std::sqrt(1.0 / (1.0 + k) / 2.0);  // per component
+}
+
+std::complex<double> FadingProcess::gain() const {
+  return los_amp_ * std::complex<double>(std::cos(los_phase_),
+                                         std::sin(los_phase_)) +
+         scatter_;
+}
+
+double FadingProcess::step_db(Rng& rng) {
+  if (cfg_.doppler_hz == 0.0 && !primed_) {
+    // Static channel: one realization held for the whole trajectory.
+    los_phase_ = rng.uniform(0.0, 2.0 * M_PI);
+    scatter_ = {rng.normal(0.0, scatter_sigma_),
+                rng.normal(0.0, scatter_sigma_)};
+    primed_ = true;
+  } else if (!primed_) {
+    los_phase_ = rng.uniform(0.0, 2.0 * M_PI);
+    // LoS Doppler depends on the arrival angle relative to motion.
+    const double angle = rng.uniform(0.0, 2.0 * M_PI);
+    los_rate_rad_ = 2.0 * M_PI * cfg_.doppler_hz * std::cos(angle) *
+                    cfg_.slot_time_s;
+    scatter_ = {rng.normal(0.0, scatter_sigma_),
+                rng.normal(0.0, scatter_sigma_)};
+    primed_ = true;
+  } else if (cfg_.doppler_hz > 0.0) {
+    los_phase_ = std::fmod(los_phase_ + los_rate_rad_, 2.0 * M_PI);
+    const double innovation = std::sqrt(1.0 - rho_ * rho_) * scatter_sigma_;
+    scatter_ = {rho_ * scatter_.real() + rng.normal(0.0, innovation),
+                rho_ * scatter_.imag() + rng.normal(0.0, innovation)};
+  }
+  const double power = std::norm(gain());
+  // Floor the fade at −60 dB: the link budget math downstream only needs
+  // "unusable", not −inf from an exact null.
+  return linear_to_db(std::max(power, 1e-6));
+}
+
+// --- the composite ----------------------------------------------------
+
+TimeVaryingChannel::TimeVaryingChannel(const TimeVaryingChannelConfig& cfg)
+    : cfg_(cfg),
+      mobility_(cfg.mobility),
+      shadowing_(cfg.shadowing),
+      fading_(cfg.fading),
+      reference_loss_db_(cfg.pathloss.loss_db(cfg.mobility.start_m)) {}
+
+double TimeVaryingChannel::step_offset_db(Rng& rng) {
+  const double d = mobility_.step();
+  const double pathloss_delta = reference_loss_db_ - cfg_.pathloss.loss_db(d);
+  return pathloss_delta + shadowing_.step(rng) + fading_.step_db(rng);
+}
+
+}  // namespace ms

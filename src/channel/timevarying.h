@@ -1,0 +1,150 @@
+// Time-varying channel processes on the slot clock.
+//
+// The static per-trial channel draw (one path loss, one multipath
+// realization, one SNR for the whole trial) cannot exercise the link
+// layer's adaptation loop: the paper's deployment scenarios — a tag on
+// a moving person, doorways opening, interferers parking on the channel
+// — make link quality a *process*, not a number.  This header models
+// that process as three composable, slot-stepped pieces:
+//
+//   - MobilityTrajectory: the tag↔receiver distance follows a constant-
+//     speed walk reflecting between bounds; the path-loss model turns
+//     the trajectory into a slow SNR ramp.
+//   - ShadowingProcess: log-normal shadowing as a first-order
+//     autoregressive (Gudmundson-style) process — slow, correlated dB
+//     swings from furniture, walls, and bodies.
+//   - FadingProcess: small-scale Rician/Rayleigh fading with Doppler: a
+//     fixed-amplitude line-of-sight phasor rotating at the LoS Doppler
+//     plus an AR(1) complex scatter component whose slot-to-slot
+//     correlation follows Clarke's model, ρ = J₀(2π·f_D·T_slot).
+//
+// TimeVaryingChannel composes all three into one per-slot SNR offset
+// (dB, relative to the start-of-trajectory link budget).  Every draw
+// flows through the caller's ms::Rng, so a trajectory is a pure
+// function of (seed, slot index) — byte-identical at any thread count
+// when driven from Rng::fork(point, trial) streams.
+#pragma once
+
+#include <complex>
+
+#include "channel/pathloss.h"
+#include "common/rng.h"
+
+namespace ms {
+
+/// Clarke-model slot-to-slot fading correlation J₀(2π·f_D·T), clamped
+/// to [0, 1).  Zero Doppler → ρ ≈ 1 (a static channel).
+double clarke_rho(double doppler_hz, double step_time_s);
+
+/// Bessel function of the first kind, order zero (Abramowitz & Stegun
+/// 9.4.1 / 9.4.3 polynomial approximations, |error| < 1e-7).  Exposed
+/// for tests; used by clarke_rho and the multipath fader.
+double bessel_j0(double x);
+
+// --- mobility ---------------------------------------------------------
+
+struct MobilityConfig {
+  double start_m = 2.0;     ///< tag↔receiver distance at slot 0
+  double speed_mps = 0.0;   ///< radial speed; sign = initial direction
+  double min_m = 0.5;       ///< reflect here (never reach 0 distance)
+  double max_m = 15.0;      ///< …and here
+  double slot_time_s = 1e-3;
+};
+
+/// Constant-speed walk reflecting between [min_m, max_m].
+class MobilityTrajectory {
+ public:
+  explicit MobilityTrajectory(const MobilityConfig& cfg);
+
+  /// Advance one slot; returns the new distance (m).
+  double step();
+  double distance_m() const { return distance_m_; }
+
+ private:
+  MobilityConfig cfg_;
+  double distance_m_;
+  double velocity_mps_;
+};
+
+// --- slow shadowing ---------------------------------------------------
+
+struct ShadowingConfig {
+  double sigma_db = 0.0;          ///< stationary std-dev (0 = off)
+  double coherence_slots = 200.0; ///< 1/e decorrelation distance
+};
+
+/// First-order autoregressive log-normal shadowing: stationary
+/// N(0, sigma²) marginals with exp(−Δ/coherence) autocorrelation.
+class ShadowingProcess {
+ public:
+  explicit ShadowingProcess(const ShadowingConfig& cfg);
+
+  /// Advance one slot; returns the shadowing offset (dB).
+  double step(Rng& rng);
+  double value_db() const { return value_db_; }
+
+ private:
+  ShadowingConfig cfg_;
+  double rho_;
+  double value_db_ = 0.0;
+  bool primed_ = false;
+};
+
+// --- small-scale fading ----------------------------------------------
+
+struct FadingConfig {
+  double doppler_hz = 0.0;   ///< max Doppler f_D = v/λ (0 = static)
+  double slot_time_s = 1e-3;
+  double k_factor_db = 9.0;  ///< Rician K; ≤ −40 dB ≈ pure Rayleigh
+};
+
+/// Complex channel gain h with E[|h|²] = 1: fixed-amplitude LoS phasor
+/// rotating at the LoS Doppler plus AR(1) scatter at Clarke's ρ.
+class FadingProcess {
+ public:
+  explicit FadingProcess(const FadingConfig& cfg);
+
+  /// Advance one slot; returns the fading gain 20·log10|h| (dB).
+  double step_db(Rng& rng);
+  std::complex<double> gain() const;
+
+ private:
+  FadingConfig cfg_;
+  double rho_;
+  double los_amp_;
+  double scatter_sigma_;   ///< per-component std-dev of the scatter
+  double los_phase_ = 0.0;
+  double los_rate_rad_ = 0.0;
+  std::complex<double> scatter_{0.0, 0.0};
+  bool primed_ = false;
+};
+
+// --- the composite ----------------------------------------------------
+
+struct TimeVaryingChannelConfig {
+  PathLossModel pathloss;  ///< deterministic part only (sigma ignored)
+  MobilityConfig mobility;
+  ShadowingConfig shadowing;
+  FadingConfig fading;
+};
+
+/// Per-slot SNR offset (dB) relative to the slot-0 deterministic link
+/// budget: path-loss delta from mobility + shadowing + fading.
+class TimeVaryingChannel {
+ public:
+  explicit TimeVaryingChannel(const TimeVaryingChannelConfig& cfg);
+
+  /// Advance one slot and return the composite SNR offset (dB).
+  double step_offset_db(Rng& rng);
+
+  const MobilityTrajectory& mobility() const { return mobility_; }
+
+ private:
+  TimeVaryingChannelConfig cfg_;
+  MobilityTrajectory mobility_;
+  ShadowingProcess shadowing_;
+  FadingProcess fading_;
+  double reference_loss_db_;
+};
+
+}  // namespace ms

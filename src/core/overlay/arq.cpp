@@ -44,19 +44,39 @@ void ArqSender::on_ack() {
   holdoff_ = 0;
 }
 
-void ArqSender::on_nack() {
+void ArqSender::on_nack(unsigned jitter_slots) {
   MS_CHECK_MSG(awaiting_result_, "on_nack() without a polled frame");
+  MS_CHECK_MSG(jitter_slots <= cfg_.holdoff_jitter_slots,
+               "holdoff jitter exceeds the configured bound");
   awaiting_result_ = false;
   if (attempts_ > cfg_.max_retries) {
     drop_head_reading();
     return;
   }
   // Exponential holdoff: back off before retrying so a parked interferer
-  // or deep fade has time to clear.
+  // or deep fade has time to clear.  The caller-drawn jitter rides on
+  // top of the cap so synchronized tags spread out.
   const unsigned shift = attempts_ - 1;
   const unsigned raw = shift >= 16 ? cfg_.holdoff_cap_slots
                                    : cfg_.holdoff_base_slots << shift;
-  holdoff_ = std::min(raw, cfg_.holdoff_cap_slots);
+  holdoff_ = std::min(raw, cfg_.holdoff_cap_slots) + jitter_slots;
+}
+
+void ArqSender::reset_after_brownout() {
+  awaiting_result_ = false;
+  attempts_ = 0;
+  holdoff_ = 0;
+  // Count what the collapse destroyed: every queued frame, and one
+  // abandoned reading per last-segment marker (load_reading only ever
+  // queues whole readings, so the tail is a complete reading too).
+  std::size_t readings = 0;
+  for (const TagFrame& f : queue_) {
+    ++stats_.frames_dropped;
+    if (f.last_segment) ++readings;
+  }
+  if (!queue_.empty() && !queue_.back().last_segment) ++readings;
+  stats_.readings_abandoned += readings;
+  queue_.clear();
 }
 
 void ArqSender::drop_head_reading() {

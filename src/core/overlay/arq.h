@@ -23,6 +23,10 @@ struct ArqConfig {
   unsigned max_retries = 4;         ///< retransmissions beyond the first try
   unsigned holdoff_base_slots = 1;  ///< holdoff = base·2^(attempt−1), capped
   unsigned holdoff_cap_slots = 8;
+  /// Max extra holdoff slots added per NACK (the caller draws the
+  /// actual jitter and passes it to on_nack); desynchronizes tags that
+  /// share an interferer so they do not retry in lockstep.
+  unsigned holdoff_jitter_slots = 0;
 };
 
 class ArqSender {
@@ -51,18 +55,37 @@ class ArqSender {
   /// answered with exactly one on_ack()/on_nack() before the next poll.
   std::optional<TagFrame> poll();
 
+  /// The frame the next successful poll() would return (nullptr while
+  /// idle) — lets a caller check slot capacity / energy before
+  /// committing to a transmission.  Does not advance any state.
+  const TagFrame* peek() const { return queue_.empty() ? nullptr
+                                                       : &queue_.front(); }
+
   /// Head frame was acknowledged.
   void on_ack();
 
   /// Head frame failed (corrupted, or its ACK never arrived): schedule a
-  /// retry with exponential holdoff, or after max_retries drop it and
-  /// abandon the rest of its reading.
-  void on_nack();
+  /// retry with exponential holdoff plus `jitter_slots` extra (caller-
+  /// drawn, bounded by config().holdoff_jitter_slots), or after
+  /// max_retries drop it and abandon the rest of its reading.
+  void on_nack(unsigned jitter_slots = 0);
+
+  /// Brownout: the capacitor collapsed and the tag's RAM — queue, head
+  /// frame, retry state — is gone.  Drops everything (counting the
+  /// abandoned frames/readings) and clears any awaited result so the
+  /// session can resume cleanly after recharge.
+  void reset_after_brownout();
 
   /// Tries of the head frame so far (0 = untransmitted).
   unsigned attempts() const { return attempts_; }
   /// Slots remaining before the next retry.
   unsigned holdoff() const { return holdoff_; }
+  /// Let one slot of holdoff elapse without polling — for slots where
+  /// the tag could not have transmitted anyway (dark air, CCA busy,
+  /// energy deferral) but time still passes.
+  void tick_holdoff() {
+    if (holdoff_ > 0) --holdoff_;
+  }
 
   const Stats& stats() const { return stats_; }
   const ArqConfig& config() const { return cfg_; }

@@ -1,0 +1,130 @@
+#include "core/tag/degradation.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.h"
+
+namespace ms {
+
+namespace {
+
+void check_fraction(double v, const char* name) {
+  if (!(v >= 0.0 && v <= 1.0))
+    throw Error(std::string("EnergyPolicyConfig::") + name +
+                " must be in [0, 1], got " + std::to_string(v));
+}
+
+}  // namespace
+
+void EnergyPolicyConfig::validate() const {
+  if (!(slot_time_s > 0.0))
+    throw Error("EnergyPolicyConfig::slot_time_s must be > 0, got " +
+                std::to_string(slot_time_s));
+  if (!(active_power_w > 0.0))
+    throw Error("EnergyPolicyConfig::active_power_w must be > 0, got " +
+                std::to_string(active_power_w));
+  if (idle_power_w < 0.0)
+    throw Error("EnergyPolicyConfig::idle_power_w must be >= 0, got " +
+                std::to_string(idle_power_w));
+  if (lux < 0.0)
+    throw Error("EnergyPolicyConfig::lux must be >= 0, got " +
+                std::to_string(lux));
+  check_fraction(reserve_fraction, "reserve_fraction");
+  check_fraction(resume_fraction, "resume_fraction");
+  check_fraction(initial_fraction, "initial_fraction");
+  if (energy_per_cycle_j(harvester) <= 0.0)
+    throw Error("EnergyPolicyConfig::harvester has a non-positive "
+                "discharge window");
+}
+
+EnergyGovernor::EnergyGovernor(const EnergyPolicyConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  cycle_j_ = energy_per_cycle_j(cfg_.harvester);
+  harvest_per_slot_j_ =
+      (cfg_.lux > 0.0 ? solar_power_w(cfg_.lux) : 0.0) * cfg_.slot_time_s;
+  idle_cost_j_ = cfg_.idle_power_w * cfg_.slot_time_s;
+  active_cost_j_ = cfg_.active_power_w * cfg_.slot_time_s;
+  energy_j_ = cfg_.initial_fraction * cycle_j_;
+}
+
+void EnergyGovernor::harvest() {
+  const double headroom = cycle_j_ - energy_j_;
+  const double gained = std::min(harvest_per_slot_j_, headroom);
+  energy_j_ += gained;
+  stats_.harvested_j += gained;
+}
+
+bool EnergyGovernor::idle_step() {
+  if (!cfg_.enabled) return false;
+  harvest();
+  const double spent = std::min(idle_cost_j_, energy_j_);
+  energy_j_ -= spent;
+  stats_.spent_j += spent;
+  if (energy_j_ <= 0.0 && !browned_out_ && idle_cost_j_ > 0.0 &&
+      harvest_per_slot_j_ < idle_cost_j_) {
+    // Even the wake-up receiver is unaffordable: total darkness.
+    browned_out_ = true;
+    ++stats_.brownouts;
+  }
+  if (browned_out_ && energy_j_ >= cfg_.resume_fraction * cycle_j_) {
+    browned_out_ = false;
+    return true;  // recovered this slot
+  }
+  return false;
+}
+
+bool EnergyGovernor::allow_active() const {
+  if (!cfg_.enabled || !cfg_.governor) return true;
+  return !browned_out_ &&
+         energy_j_ >= active_cost_j_ + cfg_.reserve_fraction * cycle_j_;
+}
+
+bool EnergyGovernor::active_step() {
+  if (!cfg_.enabled) return false;
+  harvest();
+  if (energy_j_ < active_cost_j_) {
+    // The PMIC cuts out under load: whatever was in flight is lost and
+    // the tag is dark until the window refills to the resume threshold.
+    ++stats_.violations;
+    ++stats_.brownouts;
+    stats_.spent_j += energy_j_;
+    energy_j_ = 0.0;
+    browned_out_ = true;
+    return true;
+  }
+  energy_j_ -= active_cost_j_;
+  stats_.spent_j += active_cost_j_;
+  return false;
+}
+
+void RetryBudgetConfig::validate() const {
+  if (!(tokens_per_slot >= 0.0))
+    throw Error("RetryBudgetConfig::tokens_per_slot must be >= 0, got " +
+                std::to_string(tokens_per_slot));
+  if (!(burst_tokens >= 1.0))
+    throw Error("RetryBudgetConfig::burst_tokens must be >= 1, got " +
+                std::to_string(burst_tokens));
+}
+
+RetryBudget::RetryBudget(const RetryBudgetConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  tokens_ = cfg_.burst_tokens;  // start full: the first fault is retried
+}
+
+void RetryBudget::step() {
+  if (!cfg_.enabled) return;
+  tokens_ = std::min(tokens_ + cfg_.tokens_per_slot, cfg_.burst_tokens);
+}
+
+bool RetryBudget::take() {
+  if (!cfg_.enabled) return true;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  ++shed_;
+  return false;
+}
+
+}  // namespace ms

@@ -1,0 +1,130 @@
+// Energy-aware graceful degradation for the tag link layer.
+//
+// The §3 prototype runs from a 0.01 F capacitor with a 4.1 V → 2.6 V
+// usable window (Table 4, analog/energy.h).  A link layer that ignores
+// that budget retries its way straight into a brownout: the capacitor
+// collapses mid-frame, RAM (and the ARQ state in it) is lost, and the
+// tag goes dark until the harvester refills the window.  This header
+// gives the link session the two state machines it needs to degrade
+// gracefully instead:
+//
+//   - EnergyGovernor tracks the capacitor on the slot clock (harvest in,
+//     idle/active draw out), detects brownouts, and — when the governor
+//     is enabled — defers transmissions that would dip below a safety
+//     reserve so the tag rides out a starved stretch dark-but-alive.
+//     With the governor disabled the session spends blindly and the
+//     governor faithfully models the resulting collapse + recharge.
+//   - RetryBudget is a token bucket bounding how much of the energy
+//     budget retransmissions may burn: ARQ retries spend tokens that
+//     refill slowly, so a hostile stretch sheds retries (extending the
+//     exponential holdoff) instead of draining the capacitor.
+//
+// Both are plain deterministic state machines: no Rng, no clock other
+// than the caller's slot loop, so link sessions stay byte-identical at
+// any thread count.
+#pragma once
+
+#include <cstddef>
+
+#include "analog/energy.h"
+
+namespace ms {
+
+struct EnergyPolicyConfig {
+  bool enabled = false;   ///< model the capacitor at all
+  bool governor = true;   ///< defer instead of browning out
+  HarvesterConfig harvester;    ///< Table-4 capacitor (50 mJ window)
+  double lux = 500.0;           ///< ambient light → harvest power
+  double slot_time_s = 1e-3;    ///< one excitation slot
+  double active_power_w = 0.2795;  ///< §3 peak draw while backscattering
+  double idle_power_w = 236e-9;    ///< wake-up receiver floor (Table 3)
+  /// Governor defers transmissions that would leave less than this
+  /// fraction of the usable window in the capacitor.
+  double reserve_fraction = 0.05;
+  /// After a brownout the tag stays dark until the window refills to
+  /// this fraction (BQ25570-style hysteresis, scaled to the model).
+  double resume_fraction = 0.15;
+  double initial_fraction = 1.0;  ///< window fill at slot 0
+
+  /// Throws ms::Error naming the offending knob.
+  void validate() const;
+};
+
+class EnergyGovernor {
+ public:
+  struct Stats {
+    std::size_t brownouts = 0;    ///< capacitor collapsed under load
+    std::size_t violations = 0;   ///< active slots entered underfunded
+    double harvested_j = 0.0;
+    double spent_j = 0.0;
+  };
+
+  explicit EnergyGovernor(const EnergyPolicyConfig& cfg);
+
+  /// Tag is dark, waiting for the window to refill.
+  bool browned_out() const { return browned_out_; }
+
+  /// Account one idle slot (harvest − idle draw).  Returns true when
+  /// this slot crossed the resume threshold out of a brownout.
+  bool idle_step();
+
+  /// Governor check: is a full active slot affordable without dipping
+  /// into the reserve?  Always true when the policy is disabled; never
+  /// consulted by the blind (governor-off) path.
+  bool allow_active() const;
+
+  /// Account one active (transmit) slot.  Underfunded active slots —
+  /// only reachable with the governor off — collapse the capacitor:
+  /// returns true on brownout.
+  bool active_step();
+
+  /// Usable energy left in the 4.1 → 2.6 V window (J).
+  double energy_j() const { return energy_j_; }
+  const Stats& stats() const { return stats_; }
+  const EnergyPolicyConfig& config() const { return cfg_; }
+
+ private:
+  void harvest();
+
+  EnergyPolicyConfig cfg_;
+  double cycle_j_ = 0.0;
+  double harvest_per_slot_j_ = 0.0;
+  double idle_cost_j_ = 0.0;
+  double active_cost_j_ = 0.0;
+  double energy_j_ = 0.0;
+  bool browned_out_ = false;
+  Stats stats_;
+};
+
+struct RetryBudgetConfig {
+  bool enabled = false;
+  double tokens_per_slot = 0.05;  ///< refill rate (retries per slot)
+  double burst_tokens = 4.0;      ///< bucket capacity
+
+  /// Throws ms::Error naming the offending knob.
+  void validate() const;
+};
+
+/// Token bucket over ARQ retransmissions: take() spends one token per
+/// retry; an empty bucket sheds the retry for this slot (the head frame
+/// simply waits, extending the exponential holdoff).
+class RetryBudget {
+ public:
+  explicit RetryBudget(const RetryBudgetConfig& cfg);
+
+  /// Refill one slot's worth of tokens.
+  void step();
+
+  /// Spend a token for a retransmission.  Always true when disabled.
+  bool take();
+
+  double tokens() const { return tokens_; }
+  std::size_t shed() const { return shed_; }
+
+ private:
+  RetryBudgetConfig cfg_;
+  double tokens_ = 0.0;
+  std::size_t shed_ = 0;
+};
+
+}  // namespace ms

@@ -14,15 +14,30 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 
 #include "channel/impairments.h"
 #include "core/overlay/arq.h"
 #include "core/overlay/overlay.h"
 #include "core/tag/adaptation.h"
 #include "core/tag/channel_sense.h"
+#include "core/tag/degradation.h"
 #include "phy/protocol.h"
 
 namespace ms {
+
+/// One slot of an adversarial workload trace (sim/workload builds
+/// these): what the air and the channel look like while the tag decides
+/// whether and how to transmit.
+struct SlotConditions {
+  bool excitation = true;       ///< a carrier packet is on the air
+  bool interferer = false;      ///< coexistence interferer overlaps the slot
+  float snr_offset_db = 0.0f;   ///< time-varying channel contribution
+  /// Overlay capacity of this slot relative to the session's nominal
+  /// sequences_per_slot (shorter/high-MCS excitation packets carry
+  /// fewer modulatable sequences).
+  float capacity_scale = 1.0f;
+};
 
 struct LinkSessionConfig {
   Protocol protocol = Protocol::WifiB;
@@ -49,7 +64,23 @@ struct LinkSessionConfig {
   double sense_busy_prob = 0.0;     ///< P(clear-channel assessment busy)
   ChannelSenseConfig sense;
 
+  // --- graceful degradation (run_trace only) ---
+  EnergyPolicyConfig energy;       ///< Table-4 capacitor model
+  RetryBudgetConfig retry_budget;  ///< bound on retransmission spend
+  /// P(the CCA catches a coexistence interferer and defers); a missed
+  /// interferer stomps the transmitted frame instead.
+  double interferer_cca_prob = 0.5;
+  /// Corrupted run / coded frame bits when an interferer is missed.
+  double interferer_stomp_fraction = 0.8;
+
   std::size_t reading_bytes = 96;  ///< sensor reading size
+
+  /// Sensor cadence for run_trace: reading k is not offered before slot
+  /// k * interval, so a session spans its trace instead of draining the
+  /// reading queue in the first few clean slots.  0 = as fast as the
+  /// link resolves them (the run() behaviour).
+  std::size_t reading_interval_slots = 0;
+
   uint8_t tag_id = 1;
 };
 
@@ -68,6 +99,28 @@ struct LinkSessionReport {
   double mean_fec_repeats = 0.0;
   std::size_t level_switches = 0;
   double final_nack_rate = 0.0;
+
+  // --- degradation path (populated by run_trace) ---
+  std::size_t slots_dark = 0;        ///< no excitation on the air
+  std::size_t slots_undersized = 0;  ///< frame did not fit the slot
+  std::size_t brownouts = 0;         ///< capacitor collapses
+  std::size_t slots_browned_out = 0; ///< slots spent dark, recharging
+  std::size_t resyncs = 0;           ///< recoveries out of a brownout
+  std::size_t retries_shed = 0;      ///< retransmissions the budget refused
+  std::size_t energy_deferrals = 0;  ///< governor deferred a transmission
+  std::size_t energy_violations = 0; ///< underfunded active slots (blind)
+  double energy_harvested_j = 0.0;
+  double energy_spent_j = 0.0;
+  std::size_t recoveries = 0;        ///< outage → next delivered reading
+  double recover_slots_total = 0.0;
+
+  /// Mean slots from an outage (brownout) to the next delivered
+  /// reading; 0 when no outage was ever recovered from.
+  double mean_time_to_recover_slots() const {
+    return recoveries == 0 ? 0.0
+                           : recover_slots_total /
+                                 static_cast<double>(recoveries);
+  }
 
   double goodput_bits_per_slot() const {
     return slots == 0 ? 0.0 : delivered_bytes * 8.0 / static_cast<double>(slots);
@@ -95,6 +148,16 @@ class LinkSession {
   /// are resolved (delivered or abandoned) or `max_slots` elapse.
   LinkSessionReport run(std::size_t n_readings, std::size_t max_slots,
                         Rng& rng);
+
+  /// Run the session against an adversarial workload trace: one
+  /// SlotConditions entry per slot (dark air, coexistence interferers,
+  /// time-varying SNR, variable slot capacity), with the full graceful-
+  /// degradation stack — capacitor governor, brownout + resync, retry
+  /// budget, holdoff jitter — engaged as configured.  Stops when the
+  /// trace is exhausted or all readings are resolved.
+  LinkSessionReport run_trace(std::size_t n_readings,
+                              std::span<const SlotConditions> trace,
+                              Rng& rng);
 
   /// Largest frame payload (bytes) whose FEC-coded, repeated frame fits
   /// one slot at the given protection level.  Throws ms::Error when even

@@ -1,6 +1,7 @@
 #include "sim/faults/fault_injector.h"
 
 #include <algorithm>
+#include <string>
 
 #include "channel/impairments.h"
 #include "common/error.h"
@@ -8,6 +9,75 @@
 #include "obs/trace.h"
 
 namespace ms {
+
+namespace {
+
+void check_prob(double v, const char* name) {
+  if (!(v >= 0.0 && v <= 1.0))
+    throw Error(std::string("FaultConfig::") + name +
+                " must be a probability in [0, 1], got " + std::to_string(v));
+}
+
+void check_fraction(double v, const char* name) {
+  if (!(v > 0.0 && v <= 1.0))
+    throw Error(std::string("FaultConfig::") + name +
+                " must be in (0, 1], got " + std::to_string(v));
+}
+
+void check_nonneg(double v, const char* name) {
+  if (!(v >= 0.0))
+    throw Error(std::string("FaultConfig::") + name +
+                " must be >= 0, got " + std::to_string(v));
+}
+
+}  // namespace
+
+void validate_fault_windows(const std::vector<FaultWindow>& windows) {
+  std::vector<FaultWindow> sorted = windows;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FaultWindow& a, const FaultWindow& b) {
+              return a.start_slot < b.start_slot;
+            });
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i].duration_slots == 0)
+      throw Error("FaultWindow at slot " + std::to_string(sorted[i].start_slot) +
+                  " has zero duration");
+    if (i > 0) {
+      const FaultWindow& prev = sorted[i - 1];
+      if (prev.start_slot + prev.duration_slots > sorted[i].start_slot)
+        throw Error("FaultWindows overlap: [" +
+                    std::to_string(prev.start_slot) + ", " +
+                    std::to_string(prev.start_slot + prev.duration_slots) +
+                    ") and [" + std::to_string(sorted[i].start_slot) + ", " +
+                    std::to_string(sorted[i].start_slot +
+                                   sorted[i].duration_slots) +
+                    ")");
+    }
+  }
+}
+
+void FaultConfig::validate() const {
+  check_nonneg(cfo_max_hz, "cfo_max_hz");
+  check_nonneg(clock_drift_max_ppm, "clock_drift_max_ppm");
+  check_prob(dropout_prob, "dropout_prob");
+  check_fraction(dropout_fraction, "dropout_fraction");
+  check_prob(burst_prob, "burst_prob");
+  check_nonneg(burst_power_ratio, "burst_power_ratio");
+  check_fraction(burst_fraction, "burst_fraction");
+  check_prob(adc_truncate_prob, "adc_truncate_prob");
+  check_fraction(adc_truncate_max_fraction, "adc_truncate_max_fraction");
+  check_prob(adc_duplicate_prob, "adc_duplicate_prob");
+  check_fraction(adc_duplicate_max_fraction, "adc_duplicate_max_fraction");
+  check_prob(link.p_good_to_bad, "link.p_good_to_bad");
+  check_prob(link.p_bad_to_good, "link.p_bad_to_good");
+  check_nonneg(link.good_snr_jitter_db, "link.good_snr_jitter_db");
+  check_prob(frame_corrupt_prob, "frame_corrupt_prob");
+  validate_fault_windows(interferer_windows);
+}
+
+FaultInjector::FaultInjector(FaultConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+}
 
 namespace {
 

@@ -14,13 +14,28 @@
 // faulted experiment is reproducible from one seed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "channel/impairments.h"
 #include "common/rng.h"
 #include "dsp/iq.h"
 
 namespace ms {
+
+/// A fixed window of slots during which a fault condition holds — e.g.
+/// a coexistence interferer parked on the channel.  Consumed by the
+/// adversarial workload traces (sim/workload).
+struct FaultWindow {
+  std::size_t start_slot = 0;
+  std::size_t duration_slots = 0;
+};
+
+/// Windows must have positive durations and must not overlap (a parked
+/// interferer cannot park twice).  Throws ms::Error naming the
+/// offending window index and values.
+void validate_fault_windows(const std::vector<FaultWindow>& windows);
 
 struct FaultConfig {
   // --- excitation IQ ---
@@ -42,6 +57,14 @@ struct FaultConfig {
   LinkQualityConfig link;
   double frame_corrupt_prob = 0.0;  ///< i.i.d. extra frame-burst corruption
 
+  // --- slot-windowed faults (workload traces) ---
+  std::vector<FaultWindow> interferer_windows;
+
+  /// Reject impossible configurations — negative/out-of-range
+  /// probabilities, zero or out-of-range fractions, overlapping fault
+  /// windows — with an ms::Error naming the offending knob and value.
+  void validate() const;
+
   bool any_excitation_fault() const {
     return cfo_max_hz > 0.0 || clock_drift_max_ppm > 0.0 ||
            dropout_prob > 0.0 || burst_prob > 0.0;
@@ -62,7 +85,9 @@ class FaultInjector {
     std::size_t duplications = 0;
   };
 
-  explicit FaultInjector(FaultConfig cfg) : cfg_(cfg) {}
+  /// Validates the config at construction (FaultConfig::validate), so a
+  /// bad fault description fails loudly before any trial runs.
+  explicit FaultInjector(FaultConfig cfg);
 
   /// Perturb one excitation packet (CFO → drift → dropout → burst).
   Iq perturb_excitation(Iq x, double sample_rate_hz, Rng& rng);

@@ -61,42 +61,55 @@ std::optional<std::string> parse_cli(int argc, const char* const* argv,
       (void)flag;
       return std::string(argv[++i]);
     };
+    // Every bad value names the flag AND echoes the offending value —
+    // "error: --trials expects a positive integer, got '12.5'" instead
+    // of leaving the user to guess which of seven flags choked.
+    auto bad_value = [](const char* flag, const std::optional<std::string>& v,
+                        const char* expects) -> std::string {
+      if (!v)
+        return std::string(flag) + " is missing its value (expects " +
+               expects + ")";
+      return std::string(flag) + " expects " + expects + ", got '" + *v + "'";
+    };
     if (arg == "--help" || arg == "-h") {
       opts.help = true;
     } else if (arg == "--threads") {
       const auto v = value("--threads");
       std::uint64_t n = 0;
-      if (!v || !parse_u64(*v, n))
-        return "--threads expects a non-negative integer";
+      // 0 threads cannot run anything; "use all cores" is the default
+      // you get by not passing the flag at all.
+      if (!v || !parse_u64(*v, n) || n == 0)
+        return bad_value("--threads", v,
+                         "a positive integer (omit the flag for all cores)");
       opts.threads = static_cast<std::size_t>(n);
     } else if (arg == "--trials") {
       const auto v = value("--trials");
       std::uint64_t n = 0;
       if (!v || !parse_u64(*v, n) || n == 0)
-        return "--trials expects a positive integer";
+        return bad_value("--trials", v, "a positive integer");
       opts.trials = static_cast<std::size_t>(n);
     } else if (arg == "--seed") {
       const auto v = value("--seed");
       std::uint64_t n = 0;
       if (!v || !parse_u64(*v, n))
-        return "--seed expects a non-negative integer";
+        return bad_value("--seed", v, "a non-negative integer");
       opts.seed = n;
     } else if (arg == "--out") {
       const auto v = value("--out");
-      if (!v) return "--out expects a directory";
+      if (!v) return bad_value("--out", v, "a directory");
       opts.out_dir = *v;
     } else if (arg == "--metrics-out") {
       const auto v = value("--metrics-out");
-      if (!v) return "--metrics-out expects a file path";
+      if (!v) return bad_value("--metrics-out", v, "a file path");
       opts.metrics_out = *v;
     } else if (arg == "--trace-out") {
       const auto v = value("--trace-out");
-      if (!v) return "--trace-out expects a file path";
+      if (!v) return bad_value("--trace-out", v, "a file path");
       opts.trace_out = *v;
     } else if (arg == "--waveform-cache") {
       const auto v = value("--waveform-cache");
       if (!v || (*v != "on" && *v != "off"))
-        return "--waveform-cache expects 'on' or 'off'";
+        return bad_value("--waveform-cache", v, "'on' or 'off'");
       opts.waveform_cache = (*v == "on");
     } else if (!arg.empty() && arg[0] == '-') {
       return "unknown flag: " + arg;

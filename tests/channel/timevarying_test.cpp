@@ -1,0 +1,186 @@
+// Time-varying channel processes: Bessel/Clarke correlation, mobility
+// reflection, AR(1) shadowing statistics, Rician/Rayleigh fading power,
+// and determinism of the composed per-slot SNR offset.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "channel/timevarying.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ms {
+namespace {
+
+TEST(BesselJ0, MatchesTabulatedValues) {
+  // Abramowitz & Stegun tables; the polynomial fit is good to ~1e-7.
+  EXPECT_NEAR(bessel_j0(0.0), 1.0, 1e-7);
+  EXPECT_NEAR(bessel_j0(1.0), 0.7651976866, 1e-6);
+  EXPECT_NEAR(bessel_j0(2.4048255577), 0.0, 1e-6);  // first zero
+  EXPECT_NEAR(bessel_j0(5.0), -0.1775967713, 1e-6);
+  EXPECT_NEAR(bessel_j0(10.0), -0.2459357645, 1e-6);
+  // Even function.
+  EXPECT_NEAR(bessel_j0(-3.0), bessel_j0(3.0), 1e-12);
+}
+
+TEST(ClarkeRho, StaticAndDecorrelatedLimits) {
+  EXPECT_DOUBLE_EQ(clarke_rho(0.0, 1e-3), 1.0);  // no Doppler: frozen
+  // Slow fading: high slot-to-slot correlation.
+  EXPECT_GT(clarke_rho(5.0, 1e-3), 0.99);
+  // Past the first J0 zero the model clamps to full decorrelation.
+  EXPECT_DOUBLE_EQ(clarke_rho(500.0, 1e-3), 0.0);
+  // Monotone decrease over the usable range.
+  EXPECT_GT(clarke_rho(10.0, 1e-3), clarke_rho(50.0, 1e-3));
+}
+
+TEST(MobilityTrajectory, ReflectsAtBounds) {
+  MobilityConfig cfg;
+  cfg.start_m = 1.2;
+  cfg.speed_mps = 2.0;
+  cfg.min_m = 1.0;
+  cfg.max_m = 2.0;
+  cfg.slot_time_s = 0.1;  // 0.2 m per step in a 1 m corridor
+  MobilityTrajectory walk(cfg);
+  double lo = cfg.start_m, hi = cfg.start_m;
+  for (int i = 0; i < 200; ++i) {
+    const double d = walk.step();
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+    ASSERT_GE(d, cfg.min_m);
+    ASSERT_LE(d, cfg.max_m);
+  }
+  // It actually walked the corridor rather than parking.
+  EXPECT_LT(lo, 1.15);
+  EXPECT_GT(hi, 1.85);
+}
+
+TEST(MobilityTrajectory, RejectsBadBounds) {
+  MobilityConfig cfg;
+  cfg.min_m = 3.0;
+  cfg.max_m = 2.0;
+  cfg.start_m = 2.5;
+  EXPECT_THROW(MobilityTrajectory{cfg}, Error);
+}
+
+TEST(ShadowingProcess, StationaryStatistics) {
+  ShadowingConfig cfg;
+  cfg.sigma_db = 3.0;
+  cfg.coherence_slots = 50.0;
+  ShadowingProcess shadow(cfg);
+  Rng rng(42);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = shadow.step(rng);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.15);
+  EXPECT_NEAR(std::sqrt(var), cfg.sigma_db, 0.3);
+}
+
+TEST(ShadowingProcess, ZeroSigmaIsSilent) {
+  ShadowingProcess shadow(ShadowingConfig{0.0, 100.0});
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(shadow.step(rng), 0.0);
+}
+
+TEST(ShadowingProcess, NeighboringSlotsCorrelate) {
+  ShadowingConfig cfg;
+  cfg.sigma_db = 4.0;
+  cfg.coherence_slots = 500.0;
+  ShadowingProcess shadow(cfg);
+  Rng rng(7);
+  double prev = shadow.step(rng);
+  double cross = 0.0, power = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = shadow.step(rng);
+    cross += v * prev;
+    power += prev * prev;
+    prev = v;
+  }
+  // Lag-1 autocorrelation ≈ exp(−1/500) ≈ 0.998.
+  EXPECT_GT(cross / power, 0.9);
+}
+
+TEST(FadingProcess, UnitAveragePower) {
+  FadingConfig cfg;
+  cfg.doppler_hz = 30.0;  // fast fading so the average converges
+  cfg.slot_time_s = 1e-3;
+  cfg.k_factor_db = 6.0;
+  FadingProcess fading(cfg);
+  Rng rng(9);
+  double power = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double db = fading.step_db(rng);
+    power += std::pow(10.0, db / 10.0);
+  }
+  EXPECT_NEAR(power / n, 1.0, 0.1);
+}
+
+TEST(FadingProcess, ZeroDopplerHoldsOneRealization) {
+  FadingConfig cfg;
+  cfg.doppler_hz = 0.0;
+  FadingProcess fading(cfg);
+  Rng rng(3);
+  const double first = fading.step_db(rng);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(fading.step_db(rng), first);
+}
+
+TEST(FadingProcess, StrongRicianHugsTheLosPower) {
+  FadingConfig cfg;
+  cfg.doppler_hz = 10.0;
+  cfg.k_factor_db = 30.0;  // scatter is 0.1% of the power
+  FadingProcess fading(cfg);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double db = fading.step_db(rng);
+    EXPECT_NEAR(db, 0.0, 1.5) << "slot " << i;
+  }
+}
+
+TEST(FadingProcess, RayleighFadesDeep) {
+  FadingConfig cfg;
+  cfg.doppler_hz = 30.0;
+  cfg.k_factor_db = -40.0;  // pure Rayleigh
+  FadingProcess fading(cfg);
+  Rng rng(11);
+  double min_db = 100.0;
+  for (int i = 0; i < 20000; ++i)
+    min_db = std::min(min_db, fading.step_db(rng));
+  // Rayleigh envelopes dip well below −10 dB within 20k slots.
+  EXPECT_LT(min_db, -10.0);
+}
+
+TEST(TimeVaryingChannel, DeterministicAndMobilityShaped) {
+  TimeVaryingChannelConfig cfg;
+  cfg.mobility = {2.0, 1.0, 1.0, 10.0, 1e-3};
+  cfg.shadowing = {2.0, 300.0};
+  cfg.fading = {8.0, 1e-3, 9.0};
+  TimeVaryingChannel a(cfg), b(cfg);
+  Rng ra(77), rb(77);
+  for (int i = 0; i < 2000; ++i)
+    ASSERT_DOUBLE_EQ(a.step_offset_db(ra), b.step_offset_db(rb)) << i;
+}
+
+TEST(TimeVaryingChannel, WalkingAwayCostsSnr) {
+  // Deterministic pieces only: no shadowing, no Doppler (fading frozen),
+  // so the offset is exactly the path-loss delta of the walk.
+  TimeVaryingChannelConfig cfg;
+  cfg.mobility = {2.0, 1.0, 1.0, 100.0, 1e-3};
+  cfg.shadowing = {0.0, 100.0};
+  cfg.fading = {0.0, 1e-3, 40.0};  // huge K: |h| ≈ 1
+  TimeVaryingChannel ch(cfg);
+  Rng rng(13);
+  double offset = 0.0;
+  for (int i = 0; i < 4000; ++i) offset = ch.step_offset_db(rng);
+  // 2 m → 6 m at exponent 2: about −20·log10(3) ≈ −9.5 dB.
+  EXPECT_LT(offset, -6.0);
+  EXPECT_GT(offset, -14.0);
+}
+
+}  // namespace
+}  // namespace ms

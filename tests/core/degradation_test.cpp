@@ -1,0 +1,317 @@
+// Energy-aware graceful degradation: EnergyGovernor / RetryBudget state
+// machines, ARQ brownout reset + holdoff jitter bounds, and the link
+// session's trace-driven degradation path (dark air, undersized slots,
+// interferers, brownout → resync → recover).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/overlay/arq.h"
+#include "core/tag/degradation.h"
+#include "core/tag/link_session.h"
+
+namespace ms {
+namespace {
+
+// ~50 mJ window, 1 ms slots, 279.5 mW active draw, bright light
+// (64.5 µJ harvested per slot).
+EnergyPolicyConfig bright_policy() {
+  EnergyPolicyConfig e;
+  e.enabled = true;
+  e.lux = 1.04e5;
+  e.resume_fraction = 0.01;
+  return e;
+}
+
+TEST(EnergyPolicyConfig, ValidationNamesTheKnob) {
+  EnergyPolicyConfig e;
+  e.slot_time_s = 0.0;
+  EXPECT_THROW(e.validate(), Error);
+  e = {};
+  e.reserve_fraction = 1.5;
+  EXPECT_THROW(e.validate(), Error);
+  e = {};
+  e.active_power_w = -1.0;
+  EXPECT_THROW(e.validate(), Error);
+  e = {};
+  e.lux = -5.0;
+  EXPECT_THROW(e.validate(), Error);
+  e = {};
+  EXPECT_NO_THROW(e.validate());
+}
+
+TEST(EnergyGovernor, DisabledPolicyIsTransparent) {
+  EnergyGovernor g{EnergyPolicyConfig{}};
+  EXPECT_TRUE(g.allow_active());
+  EXPECT_FALSE(g.active_step());
+  EXPECT_FALSE(g.idle_step());
+  EXPECT_FALSE(g.browned_out());
+  EXPECT_EQ(g.stats().brownouts, 0u);
+}
+
+TEST(EnergyGovernor, ActiveSlotsSpendTheWindow) {
+  EnergyPolicyConfig e = bright_policy();
+  e.lux = 0.0;  // isolate the discharge
+  EnergyGovernor g(e);
+  const double before = g.energy_j();
+  ASSERT_TRUE(g.allow_active());
+  EXPECT_FALSE(g.active_step());
+  EXPECT_NEAR(before - g.energy_j(), 0.2795e-3, 1e-9);
+  EXPECT_NEAR(g.stats().spent_j, 0.2795e-3, 1e-9);
+}
+
+TEST(EnergyGovernor, GovernorDefersBelowTheReserve) {
+  EnergyPolicyConfig e = bright_policy();
+  e.initial_fraction = 0.01;  // ~0.5 mJ, well under reserve + active
+  EnergyGovernor g(e);
+  EXPECT_FALSE(g.allow_active());
+  EXPECT_FALSE(g.browned_out());  // deferred, not collapsed
+}
+
+TEST(EnergyGovernor, BlindUnderfundedSlotCollapses) {
+  EnergyPolicyConfig e = bright_policy();
+  e.governor = false;
+  e.initial_fraction = 0.001;  // far below one active slot
+  EnergyGovernor g(e);
+  EXPECT_TRUE(g.active_step());  // brownout
+  EXPECT_TRUE(g.browned_out());
+  EXPECT_DOUBLE_EQ(g.energy_j(), 0.0);
+  EXPECT_EQ(g.stats().brownouts, 1u);
+  EXPECT_EQ(g.stats().violations, 1u);
+}
+
+TEST(EnergyGovernor, RecoversAtTheResumeThreshold) {
+  EnergyPolicyConfig e = bright_policy();
+  e.governor = false;
+  e.initial_fraction = 0.001;
+  EnergyGovernor g(e);
+  ASSERT_TRUE(g.active_step());
+  int slots = 0;
+  while (g.browned_out()) {
+    ASSERT_LT(slots, 100) << "never recovered";
+    if (g.idle_step()) break;  // recovery reported exactly once
+    ++slots;
+  }
+  EXPECT_FALSE(g.browned_out());
+  EXPECT_GE(g.energy_j(),
+            e.resume_fraction * energy_per_cycle_j(e.harvester) - 1e-9);
+}
+
+TEST(RetryBudget, TokenBucketShedsWhenEmpty) {
+  RetryBudgetConfig cfg;
+  cfg.enabled = true;
+  cfg.burst_tokens = 2.0;
+  cfg.tokens_per_slot = 0.5;
+  RetryBudget b(cfg);
+  EXPECT_TRUE(b.take());
+  EXPECT_TRUE(b.take());
+  EXPECT_FALSE(b.take());  // empty
+  EXPECT_EQ(b.shed(), 1u);
+  b.step();
+  b.step();  // refilled one whole token
+  EXPECT_TRUE(b.take());
+  EXPECT_FALSE(b.take());
+  EXPECT_EQ(b.shed(), 2u);
+}
+
+TEST(RetryBudget, DisabledAlwaysGrants) {
+  RetryBudget b{RetryBudgetConfig{}};
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(b.take());
+  EXPECT_EQ(b.shed(), 0u);
+}
+
+TEST(RetryBudget, ValidationNamesTheKnob) {
+  RetryBudgetConfig cfg;
+  cfg.tokens_per_slot = -0.1;
+  EXPECT_THROW(cfg.validate(), Error);
+  cfg = {};
+  cfg.burst_tokens = 0.5;
+  EXPECT_THROW(cfg.validate(), Error);
+}
+
+TEST(ArqSender, BrownoutResetDropsStateAndCounts) {
+  ArqSender s;
+  const std::vector<uint8_t> reading(40, 0xab);
+  s.load_reading(1, reading, 16);  // 3 frames
+  ASSERT_TRUE(s.poll().has_value());
+  s.reset_after_brownout();
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.attempts(), 0u);
+  EXPECT_EQ(s.holdoff(), 0u);
+  EXPECT_EQ(s.stats().frames_dropped, 3u);
+  EXPECT_EQ(s.stats().readings_abandoned, 1u);
+  // The session can resume cleanly: load + poll works again.
+  s.load_reading(1, reading, 16);
+  EXPECT_TRUE(s.poll().has_value());
+}
+
+TEST(ArqSender, HoldoffJitterIsBoundedByConfig) {
+  ArqConfig cfg;
+  cfg.holdoff_jitter_slots = 4;
+  ArqSender s(cfg);
+  const std::vector<uint8_t> reading(8, 1);
+  s.load_reading(1, reading, 16);
+  ASSERT_TRUE(s.poll().has_value());
+  s.on_nack(4);  // at the bound: fine
+  EXPECT_EQ(s.holdoff(), 1u + 4u);
+  while (s.holdoff() > 0) s.tick_holdoff();
+  ASSERT_TRUE(s.poll().has_value());
+  EXPECT_THROW(s.on_nack(5), Error);  // beyond the bound
+}
+
+// --- run_trace ---------------------------------------------------------
+
+std::vector<SlotConditions> saturated(std::size_t n) {
+  return std::vector<SlotConditions>(n);
+}
+
+LinkSessionConfig trace_base() {
+  LinkSessionConfig cfg;
+  cfg.base_snr_db = 20.0;     // clean link unless the trace says otherwise
+  cfg.reading_bytes = 24;     // one frame per reading
+  return cfg;
+}
+
+TEST(LinkSessionTrace, CleanSaturatedTraceDelivers) {
+  LinkSession session(trace_base());
+  Rng rng(1);
+  const auto rep = session.run_trace(6, saturated(400), rng);
+  EXPECT_EQ(rep.readings_offered, 6u);
+  EXPECT_EQ(rep.readings_delivered, 6u);
+  EXPECT_EQ(rep.brownouts, 0u);
+  EXPECT_EQ(rep.slots_dark, 0u);
+  // Resolved everything well before the trace ran out.
+  EXPECT_LT(rep.slots, 400u);
+}
+
+TEST(LinkSessionTrace, DarkSlotsParkTheTag) {
+  std::vector<SlotConditions> trace = saturated(300);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    trace[i].excitation = (i % 3 == 0);  // 1 excited slot in 3
+  LinkSession session(trace_base());
+  Rng rng(2);
+  const auto rep = session.run_trace(4, trace, rng);
+  EXPECT_EQ(rep.readings_delivered, 4u);
+  EXPECT_GT(rep.slots_dark, 0u);
+}
+
+TEST(LinkSessionTrace, UndersizedSlotsMakeFramesWait) {
+  std::vector<SlotConditions> trace = saturated(300);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    if (i % 2 == 0) trace[i].capacity_scale = 0.01f;  // too small
+  LinkSession session(trace_base());
+  Rng rng(3);
+  const auto rep = session.run_trace(4, trace, rng);
+  EXPECT_EQ(rep.readings_delivered, 4u);
+  EXPECT_GT(rep.slots_undersized, 0u);
+}
+
+TEST(LinkSessionTrace, SnrOffsetIsApplied) {
+  std::vector<SlotConditions> fade = saturated(200);
+  for (SlotConditions& c : fade) c.snr_offset_db = -40.0f;  // buried
+  LinkSession session(trace_base());
+  Rng r1(4), r2(4);
+  const auto clean = session.run_trace(4, saturated(200), r1);
+  const auto faded = session.run_trace(4, fade, r2);
+  EXPECT_EQ(clean.readings_delivered, 4u);
+  EXPECT_EQ(faded.readings_delivered, 0u);
+  EXPECT_GT(faded.frames_corrupted, 0u);
+}
+
+TEST(LinkSessionTrace, CaughtInterferersDeferMissedOnesStomp) {
+  std::vector<SlotConditions> trace = saturated(300);
+  for (SlotConditions& c : trace) c.interferer = true;
+  LinkSessionConfig cfg = trace_base();
+  cfg.interferer_cca_prob = 1.0;  // CCA always catches it
+  {
+    LinkSession session(cfg);
+    Rng rng(5);
+    const auto rep = session.run_trace(2, trace, rng);
+    EXPECT_EQ(rep.readings_delivered, 0u);
+    EXPECT_EQ(rep.slots_deferred, rep.slots);  // parked the whole time
+  }
+  cfg.interferer_cca_prob = 0.0;  // CCA always misses: frames get stomped
+  cfg.interferer_stomp_fraction = 1.0;  // the whole coded frame
+  {
+    LinkSession session(cfg);
+    Rng rng(6);
+    const auto rep = session.run_trace(2, trace, rng);
+    EXPECT_EQ(rep.readings_delivered, 0u);
+    EXPECT_GT(rep.frames_corrupted, 0u);
+  }
+}
+
+TEST(LinkSessionTrace, RetryBudgetShedsRetries) {
+  LinkSessionConfig cfg = trace_base();
+  cfg.base_snr_db = -20.0;  // nothing decodes: pure retry pressure
+  cfg.adaptation_enabled = false;
+  cfg.retry_budget.enabled = true;
+  cfg.retry_budget.burst_tokens = 2.0;
+  cfg.retry_budget.tokens_per_slot = 0.005;
+  LinkSession session(cfg);
+  Rng rng(7);
+  const auto rep = session.run_trace(4, saturated(1500), rng);
+  EXPECT_EQ(rep.readings_delivered, 0u);
+  EXPECT_GT(rep.retries_shed, 0u);
+}
+
+TEST(LinkSessionTrace, BlindEnergySpendBrownsOutAndResyncs) {
+  LinkSessionConfig cfg = trace_base();
+  cfg.energy = bright_policy();
+  cfg.energy.governor = false;
+  cfg.energy.initial_fraction = 0.002;  // below one active slot
+  LinkSession session(cfg);
+  Rng rng(8);
+  const auto rep = session.run_trace(8, saturated(2000), rng);
+  EXPECT_GT(rep.brownouts, 0u);
+  EXPECT_GT(rep.slots_browned_out, 0u);
+  EXPECT_GT(rep.resyncs, 0u);
+  EXPECT_GT(rep.energy_violations, 0u);
+  EXPECT_GT(rep.sender.readings_abandoned, 0u);
+  // It recovered and went on delivering after recharge.
+  EXPECT_GT(rep.recoveries, 0u);
+  EXPECT_GT(rep.readings_delivered, 0u);
+  EXPECT_GT(rep.mean_time_to_recover_slots(), 0.0);
+}
+
+TEST(LinkSessionTrace, GovernorDefersInsteadOfBrowningOut) {
+  LinkSessionConfig cfg = trace_base();
+  cfg.energy = bright_policy();
+  cfg.energy.governor = true;
+  cfg.energy.initial_fraction = 0.002;
+  LinkSession session(cfg);
+  Rng rng(9);
+  const auto rep = session.run_trace(8, saturated(2000), rng);
+  EXPECT_EQ(rep.brownouts, 0u);
+  EXPECT_GT(rep.energy_deferrals, 0u);
+  EXPECT_EQ(rep.readings_delivered, 8u);
+  EXPECT_GT(rep.energy_harvested_j, 0.0);
+}
+
+TEST(LinkSessionTrace, DeterministicForAGivenSeed) {
+  LinkSessionConfig cfg = trace_base();
+  cfg.energy = bright_policy();
+  cfg.energy.governor = false;
+  cfg.energy.initial_fraction = 0.002;
+  cfg.retry_budget.enabled = true;
+  cfg.arq.holdoff_jitter_slots = 3;
+  cfg.link_quality.p_good_to_bad = 0.05;
+  LinkSession session(cfg);
+  Rng r1(10), r2(10);
+  const auto a = session.run_trace(8, saturated(2000), r1);
+  const auto b = session.run_trace(8, saturated(2000), r2);
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.readings_delivered, b.readings_delivered);
+  EXPECT_EQ(a.brownouts, b.brownouts);
+  EXPECT_EQ(a.resyncs, b.resyncs);
+  EXPECT_EQ(a.retries_shed, b.retries_shed);
+  EXPECT_EQ(a.sender.transmissions, b.sender.transmissions);
+  EXPECT_DOUBLE_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_DOUBLE_EQ(a.energy_spent_j, b.energy_spent_j);
+  EXPECT_DOUBLE_EQ(a.recover_slots_total, b.recover_slots_total);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,118 @@
+// Property tests for the time-varying multipath fader: tap-energy
+// bounds along whole trajectories, and byte-identical fading
+// trajectories regardless of the trial engine's thread count.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/multipath.h"
+#include "common/rng.h"
+#include "sim/runner/trial_runner.h"
+
+namespace ms {
+namespace {
+
+MultipathFadingConfig fading_cfg(double doppler_hz, double k_db) {
+  MultipathFadingConfig cfg;
+  cfg.profile.n_taps = 4;
+  cfg.profile.delay_spread_s = 60e-9;
+  cfg.profile.k_factor_db = k_db;
+  cfg.doppler_hz = doppler_hz;
+  cfg.step_time_s = 1e-3;
+  return cfg;
+}
+
+TEST(MultipathFaderProperty, TapEnergyStaysBoundedAndAveragesToOne) {
+  // Across seeds and trajectories, instantaneous tap energy must stay
+  // positive and finite, never explode past a loose physical ceiling,
+  // and average to ~1 (the fader preserves the unit-power profile).
+  const int kSeeds = 8;
+  const int kSteps = 4000;
+  double grand_sum = 0.0;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    MultipathFader fader(fading_cfg(20.0, 6.0), 20e6, rng);
+    for (int i = 0; i < kSteps; ++i) {
+      fader.step(rng);
+      const double e = fader.tap_energy();
+      ASSERT_TRUE(std::isfinite(e));
+      ASSERT_GT(e, 0.0);
+      ASSERT_LT(e, 20.0) << "seed " << seed << " step " << i;
+      grand_sum += e;
+    }
+  }
+  EXPECT_NEAR(grand_sum / (kSeeds * kSteps), 1.0, 0.15);
+}
+
+TEST(MultipathFaderProperty, FrozenChannelKeepsItsRealization) {
+  Rng rng(123);
+  MultipathFader fader(fading_cfg(0.0, 6.0), 20e6, rng);
+  const std::vector<Cf> taps = fader.channel().taps;
+  const double e0 = fader.tap_energy();
+  for (int i = 0; i < 50; ++i) fader.step(rng);
+  EXPECT_EQ(fader.channel().taps, taps);
+  EXPECT_DOUBLE_EQ(fader.tap_energy(), e0);
+}
+
+TEST(MultipathFaderProperty, RayleighChannelFadesDeepWithoutLos) {
+  // With K → −∞ the dedicated LoS tap vanishes and all the power rides
+  // the scatter taps: the composite energy must swing well around its
+  // unit mean (Rayleigh), never parking on a constant.
+  Rng rng(5);
+  MultipathFader fader(fading_cfg(25.0, -40.0), 20e6, rng);
+  double lo = 1e9, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    fader.step(rng);
+    EXPECT_LT(std::abs(fader.channel().taps[0]), 0.02) << "LoS survived K→0";
+    const double e = fader.tap_energy();
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  EXPECT_LT(lo, 0.5);
+  EXPECT_GT(hi, 1.5);
+}
+
+/// One trial's fading trajectory, as the exact double sequence.
+std::vector<double> trajectory(std::size_t point, std::size_t trial,
+                               std::uint64_t seed, int steps) {
+  Rng master(seed);
+  Rng rng = master.fork(point, trial);
+  MultipathFader fader(fading_cfg(15.0, 3.0), 20e6, rng);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    fader.step(rng);
+    out.push_back(fader.tap_energy());
+  }
+  return out;
+}
+
+TEST(MultipathFaderProperty, TrajectoriesIdenticalAcrossThreadCounts) {
+  // The same (point, trial) grid of fading trajectories, fanned out on
+  // 1 worker and on 4, must agree to the last bit: Rng::fork streams
+  // make each cell independent of scheduling.
+  constexpr std::uint64_t kSeed = 99;
+  constexpr int kSteps = 500;
+  const auto run = [&](std::size_t threads) {
+    TrialRunner runner({threads, kSeed});
+    return runner.run_grid(3, 4, [&](std::size_t p, std::size_t t, Rng&) {
+      return trajectory(p, t, kSeed, kSteps);
+    });
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    ASSERT_EQ(one[i].size(), four[i].size());
+    for (std::size_t k = 0; k < one[i].size(); ++k)
+      ASSERT_EQ(one[i][k], four[i][k]) << "cell " << i << " step " << k;
+  }
+  // Distinct cells see distinct channels (the fork streams are not
+  // aliased onto one another).
+  EXPECT_NE(one[0], one[1]);
+  EXPECT_NE(one[0], one[4]);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Determinism gate for the adversarial workload engine (ISSUE 6).
+#
+# Runs bench_robustness_workloads at --threads 1 and --threads 8 with a
+# fixed seed and trial count, then byte-compares the survival scorecard
+# CSV and the metrics JSON.  Every workload trace, time-varying channel
+# trajectory, and degradation decision draws from Rng::fork(point,
+# trial) streams and merges row-major, so both files must be
+# byte-identical regardless of thread count — the acceptance invariant
+# for the whole subsystem.
+#
+# usage: workload_determinism.sh <bench_robustness_workloads binary> <workdir>
+set -euo pipefail
+
+bench="$1"
+workdir="$2"
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+
+run() {
+  local name="$1" threads="$2"
+  local dir="$workdir/$name"
+  mkdir -p "$dir"
+  "$bench" --trials 3 --seed 11 --threads "$threads" --out "$dir" \
+    --metrics-out "$dir/metrics.json" >"$dir/stdout.txt" 2>"$dir/stderr.txt"
+}
+
+run t1 1
+run t8 8
+
+for f in workloads_scorecard.csv metrics.json; do
+  if ! cmp -s "$workdir/t1/$f" "$workdir/t8/$f"; then
+    echo "FAIL: $f differs between --threads 1 and --threads 8" >&2
+    diff "$workdir/t1/$f" "$workdir/t8/$f" >&2 || true
+    exit 1
+  fi
+done
+
+# The scorecard's stdout table is derived from the same cells; pin it too.
+if ! cmp -s "$workdir/t1/stdout.txt" "$workdir/t8/stdout.txt"; then
+  echo "FAIL: stdout differs between --threads 1 and --threads 8" >&2
+  diff "$workdir/t1/stdout.txt" "$workdir/t8/stdout.txt" >&2 || true
+  exit 1
+fi
+
+echo "workload determinism: scorecard + metrics byte-identical across threads"

@@ -73,6 +73,41 @@ TEST(Cli, RejectsNonNumericValue) {
   EXPECT_TRUE(parse({"--trials", "12.5"}, o).has_value());
 }
 
+TEST(Cli, BadValueNamesFlagAndValue) {
+  // A bad value for a known flag must report both the flag and the
+  // offending value, not a generic "expects an integer".
+  CliOptions o;
+  const auto trials = parse({"--trials", "12.5"}, o);
+  ASSERT_TRUE(trials.has_value());
+  EXPECT_NE(trials->find("--trials"), std::string::npos) << *trials;
+  EXPECT_NE(trials->find("12.5"), std::string::npos) << *trials;
+  const auto threads = parse({"--threads", "many"}, o);
+  ASSERT_TRUE(threads.has_value());
+  EXPECT_NE(threads->find("--threads"), std::string::npos) << *threads;
+  EXPECT_NE(threads->find("many"), std::string::npos) << *threads;
+  const auto cache = parse({"--waveform-cache", "maybe"}, o);
+  ASSERT_TRUE(cache.has_value());
+  EXPECT_NE(cache->find("--waveform-cache"), std::string::npos) << *cache;
+  EXPECT_NE(cache->find("maybe"), std::string::npos) << *cache;
+}
+
+TEST(Cli, RejectsZeroThreads) {
+  // 0 worker threads cannot run anything; "all cores" is the default
+  // you get by omitting the flag, not a magic sentinel on the CLI.
+  CliOptions o;
+  const auto err = parse({"--threads", "0"}, o);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("--threads"), std::string::npos) << *err;
+  EXPECT_NE(err->find("'0'"), std::string::npos) << *err;
+}
+
+TEST(Cli, MissingValueNamesFlag) {
+  CliOptions o;
+  const auto err = parse({"--trials"}, o);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("--trials"), std::string::npos) << *err;
+}
+
 TEST(Cli, RejectsSecondPositional) {
   CliOptions o;
   EXPECT_TRUE(parse({"outdir", "extra"}, o).has_value());

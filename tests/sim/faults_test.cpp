@@ -192,5 +192,65 @@ TEST(IdentFaults, TraceGenerationIsSeedStableUnderFaults) {
   EXPECT_EQ(a, b);
 }
 
+TEST(FaultValidation, RejectsNegativeAndOverrangeProbabilities) {
+  FaultConfig cfg;
+  cfg.dropout_prob = -0.1;
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+  cfg = {};
+  cfg.burst_prob = 1.5;
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+  cfg = {};
+  cfg.link.p_good_to_bad = -1e-6;
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+  cfg = {};
+  cfg.frame_corrupt_prob = 2.0;
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+}
+
+TEST(FaultValidation, RejectsBadFractionsAndMagnitudes) {
+  FaultConfig cfg;
+  cfg.dropout_fraction = 0.0;  // a dropout must erase something
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+  cfg = {};
+  cfg.burst_fraction = 1.3;
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+  cfg = {};
+  cfg.cfo_max_hz = -100.0;
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+  cfg = {};
+  cfg.clock_drift_max_ppm = -5.0;
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+}
+
+TEST(FaultValidation, ErrorsNameTheKnobAndValue) {
+  FaultConfig cfg;
+  cfg.burst_prob = -0.25;
+  try {
+    cfg.validate();
+    FAIL() << "expected ms::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("burst_prob"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("-0.25"), std::string::npos) << msg;
+  }
+}
+
+TEST(FaultValidation, RejectsBadFaultWindows) {
+  FaultConfig cfg;
+  cfg.interferer_windows = {{10, 0}};  // zero duration
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+  cfg.interferer_windows = {{10, 20}, {25, 5}};  // overlap
+  EXPECT_THROW(FaultInjector{cfg}, Error);
+  cfg.interferer_windows = {{25, 5}, {10, 15}};  // touching, out of order: ok
+  EXPECT_NO_THROW(FaultInjector{cfg});
+  EXPECT_NO_THROW(validate_fault_windows({{0, 10}, {10, 10}}));
+  EXPECT_THROW(validate_fault_windows({{0, 10}, {9, 1}}), Error);
+}
+
+TEST(FaultValidation, DefaultConfigIsValid) {
+  EXPECT_NO_THROW(FaultConfig{}.validate());
+  EXPECT_NO_THROW(FaultInjector{FaultConfig{}});
+}
+
 }  // namespace
 }  // namespace ms
