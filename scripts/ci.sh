@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Full CI sweep: Release build + the four labeled ctest suites (unit,
 # property, integration, golden) — the property label includes the
-# bitpack equivalence and multipath-trajectory suites, and the unit
-# label the workload/degradation/time-varying-channel suites, so all of
-# them get an ASan+UBSan pass below for free — then the bench-smoke
-# label (which includes bench_robustness_workloads plus its threads-1
-# vs threads-8 byte-identity gate), a bench-perf smoke of the
-# identification-throughput microbench, and finally the same four
-# suites under ASan+UBSan (-DMS_SANITIZE=ON).  Exits nonzero on the
-# first failing step.
+# bitpack equivalence, multipath-trajectory, and PHY fast-path
+# differential suites, and the unit label the workload/degradation/
+# time-varying-channel suites, so all of them get an ASan+UBSan pass
+# below for free — then the bench-smoke label (which includes the
+# threads-1 vs threads-8 byte-identity gates for the waveform cache,
+# the workload scorecard, and the kernel fast path), a bench-perf
+# smoke of the identification- and PHY-throughput microbenches, and
+# finally the same four suites under ASan+UBSan (-DMS_SANITIZE=ON).
+# Exits nonzero on the first failing step.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -31,15 +32,19 @@ echo "==> ctest -L bench-smoke (Release only)"
 ctest --test-dir "${repo_root}/build" -L bench-smoke --output-on-failure -j"${jobs}"
 
 echo "==> bench-perf smoke (Release only)"
-# One-trial pass through the identification-throughput microbench: runs
-# the live packed-vs-reference equivalence gate and exercises the
-# metrics plumbing.  Timing numbers on CI hardware are informational;
-# the >=3x acceptance figure is measured on a quiet machine.
+# Short passes through the identification- and PHY-throughput
+# microbenches: each runs its live fast-vs-reference bitwise equivalence
+# gate and exercises the metrics plumbing.  Timing numbers on CI
+# hardware are informational; the >=3x acceptance figures are measured
+# on a quiet machine.
 perf_dir="${repo_root}/build/bench-perf"
 mkdir -p "${perf_dir}"
 "${repo_root}/build/bench/bench_ident_throughput" --trials 1 \
     --out "${perf_dir}" --metrics-out "${perf_dir}/metrics.json"
 "${repo_root}/build/bench/validate_metrics" "${perf_dir}/metrics.json"
+"${repo_root}/build/bench/bench_phy_throughput" --trials 2 \
+    --out "${perf_dir}" --metrics-out "${perf_dir}/phy_metrics.json"
+"${repo_root}/build/bench/validate_metrics" "${perf_dir}/phy_metrics.json"
 
 echo "=== ASan+UBSan build ==="
 cmake -B "${repo_root}/build-asan" -S "${repo_root}" -DMS_SANITIZE=ON \

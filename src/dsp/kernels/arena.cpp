@@ -1,0 +1,10 @@
+#include "dsp/kernels/arena.h"
+
+namespace ms::kernels {
+
+SampleArena& scratch_arena() {
+  thread_local SampleArena arena;
+  return arena;
+}
+
+}  // namespace ms::kernels

@@ -1,0 +1,197 @@
+// Arena-allocated scratch buffers and chunked streaming spans.
+//
+// The scalar PHY chains allocate vectors per symbol and per packet
+// (collapsed chips, reference waveforms, discriminator traces, OFDM
+// bins) — on a trial engine running thousands of packets that is malloc
+// traffic in the innermost loops.  SampleArena is the replacement: a
+// bump allocator over a chain of cache-line-aligned blocks that the
+// fast kernels carve scratch spans from and the trial runner rewinds
+// once per trial.  Allocation is a pointer bump, reset is O(1), and
+// capacity is retained across trials so a worker thread reaches a
+// steady state with zero allocations per packet.
+//
+// ChunkedSpan is the companion streaming view: it walks a long
+// contiguous waveform in fixed-size chunks (the last one ragged) so
+// decode loops and benches can process bounded windows instead of
+// materializing whole-trace intermediates.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ms::kernels {
+
+class SampleArena {
+ public:
+  /// Every allocation is aligned to this (cache line, and wide enough
+  /// for any vector ISA the autovectorizer picks).
+  static constexpr std::size_t kAlign = 64;
+
+  explicit SampleArena(std::size_t first_block_bytes = 1 << 16)
+      : first_block_bytes_(first_block_bytes ? first_block_bytes : 1) {}
+
+  SampleArena(const SampleArena&) = delete;
+  SampleArena& operator=(const SampleArena&) = delete;
+
+  /// Uninitialized scratch span of n objects of trivial type T.
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "SampleArena holds raw sample data only");
+    if (n == 0) return {};
+    void* p = raw_alloc(n * sizeof(T));
+    return {static_cast<T*>(p), n};
+  }
+
+  /// Zero-filled scratch span.
+  template <typename T>
+  std::span<T> alloc_zero(std::size_t n) {
+    auto s = alloc<T>(n);
+    if (!s.empty()) std::memset(s.data(), 0, s.size_bytes());
+    return s;
+  }
+
+  /// Rewind to empty, keeping every block for reuse.  Spans handed out
+  /// before the reset are dead.
+  void reset() {
+    block_ = 0;
+    offset_ = 0;
+  }
+
+  /// Bump-pointer position, for scoped rewinds.
+  struct Marker {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+  };
+  Marker mark() const { return {block_, offset_}; }
+
+  /// Rewind to a previously taken mark, invalidating every span
+  /// allocated since.  Kernels use this to release per-call scratch
+  /// without waiting for the per-trial reset().
+  void rewind(Marker m) {
+    block_ = m.block;
+    offset_ = m.offset;
+  }
+
+  /// RAII scope: rewinds to the construction-time mark on destruction.
+  class Scope {
+   public:
+    explicit Scope(SampleArena& arena) : arena_(arena), mark_(arena.mark()) {}
+    ~Scope() { arena_.rewind(mark_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SampleArena& arena_;
+    Marker mark_;
+  };
+
+  /// Total bytes owned across all blocks.
+  std::size_t capacity_bytes() const {
+    std::size_t sum = 0;
+    for (const Block& b : blocks_) sum += b.size;
+    return sum;
+  }
+
+  /// High-water mark of live bytes since construction (diagnostics —
+  /// a steady-state trial loop should stop growing this).
+  std::size_t high_water_bytes() const { return high_water_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> storage;  ///< raw, over-allocated by kAlign
+    std::byte* base = nullptr;             ///< storage rounded up to kAlign
+    std::size_t size = 0;                  ///< usable bytes from base
+  };
+
+  void* raw_alloc(std::size_t bytes) {
+    const std::size_t need = (bytes + kAlign - 1) / kAlign * kAlign;
+    while (block_ < blocks_.size() &&
+           offset_ + need > blocks_[block_].size) {
+      ++block_;
+      offset_ = 0;
+    }
+    if (block_ == blocks_.size()) {
+      // Double the largest block so the chain amortizes to O(log)
+      // blocks; never allocate less than the request.
+      std::size_t size = blocks_.empty() ? first_block_bytes_
+                                         : blocks_.back().size * 2;
+      if (size < need) size = need;
+      Block b;
+      b.storage = std::make_unique<std::byte[]>(size + kAlign);
+      const auto addr = reinterpret_cast<std::uintptr_t>(b.storage.get());
+      b.base = b.storage.get() +
+               ((addr + kAlign - 1) / kAlign * kAlign - addr);
+      b.size = size;
+      blocks_.push_back(std::move(b));
+      offset_ = 0;
+    }
+    std::byte* p = blocks_[block_].base + offset_;
+    offset_ += need;
+    live_ = 0;
+    for (std::size_t b = 0; b < block_; ++b) live_ += blocks_[b].size;
+    live_ += offset_;
+    if (live_ > high_water_) high_water_ = live_;
+    return p;
+  }
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   ///< block currently being bumped
+  std::size_t offset_ = 0;  ///< bump offset within blocks_[block_]
+  std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// The calling thread's scratch arena.  Kernels carve transient
+/// buffers from it; TrialRunner rewinds it at the start of every trial
+/// cell, so per-packet scratch is recycled instead of reallocated.
+SampleArena& scratch_arena();
+
+/// Fixed-size chunked view over a contiguous span: iterates subspans of
+/// `chunk` elements, the final one ragged.  Zero-copy — each chunk
+/// aliases the underlying data.
+template <typename T>
+class ChunkedSpan {
+ public:
+  ChunkedSpan(std::span<T> data, std::size_t chunk)
+      : data_(data), chunk_(chunk) {
+    MS_CHECK(chunk_ > 0);
+  }
+
+  std::size_t size() const {  ///< number of chunks
+    return (data_.size() + chunk_ - 1) / chunk_;
+  }
+
+  std::span<T> operator[](std::size_t i) const {
+    const std::size_t begin = i * chunk_;
+    MS_CHECK(begin < data_.size() || (data_.empty() && begin == 0));
+    return data_.subspan(begin, std::min(chunk_, data_.size() - begin));
+  }
+
+  struct iterator {
+    const ChunkedSpan* parent;
+    std::size_t index;
+    std::span<T> operator*() const { return (*parent)[index]; }
+    iterator& operator++() {
+      ++index;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return index != o.index; }
+  };
+  iterator begin() const { return {this, 0}; }
+  iterator end() const { return {this, size()}; }
+
+ private:
+  std::span<T> data_;
+  std::size_t chunk_;
+};
+
+}  // namespace ms::kernels

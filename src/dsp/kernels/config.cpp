@@ -1,0 +1,19 @@
+#include "dsp/kernels/config.h"
+
+#include <atomic>
+
+namespace ms::kernels {
+
+namespace {
+// relaxed is enough: the flag is set once at CLI parse time, before any
+// worker threads exist; per-trial reads race with nothing.
+std::atomic<bool> g_fast_path{true};
+}  // namespace
+
+bool fast_path_enabled() { return g_fast_path.load(std::memory_order_relaxed); }
+
+void set_fast_path_enabled(bool enabled) {
+  g_fast_path.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace ms::kernels

@@ -1,0 +1,41 @@
+// Fast-path selection for the SIMD/streaming PHY kernels.
+//
+// Every hot loop in the decode/synthesis chains ships as a *pair*: a
+// SIMD-friendly fast kernel under src/dsp/kernels/ and the original
+// scalar code retained as its bit-exact reference oracle.  Selection
+// follows the PR-4 bitpack discipline (docs/PERF.md): the fast twin is
+// never an approximation — tests/differential/ hammers every pair with
+// randomized payloads/SNR/configs and fails on the first divergent
+// sample or bit, and bench_phy_throughput refuses to print timings
+// unless the pair agrees bitwise on its whole corpus.
+//
+// Two selection levels:
+//   - a per-call-site KernelPath (phy config structs, defaulted Auto),
+//     so tests and benches can force either side of a pair;
+//   - a process-global default for Auto, toggled by the shared bench
+//     CLI's --fast-path on|off (the live oracle switch, mirroring
+//     --waveform-cache).
+#pragma once
+
+namespace ms::kernels {
+
+/// Which side of a kernel pair a call should take.
+///   Auto      — follow the process-global fast-path default.
+///   Fast      — force the SIMD/streaming kernel.
+///   Reference — force the original scalar oracle.
+enum class KernelPath { Auto, Fast, Reference };
+
+/// Process-global default for KernelPath::Auto (true unless
+/// --fast-path off).  Results are bit-identical either way; off only
+/// trades speed for nothing, which is exactly what makes it an oracle.
+bool fast_path_enabled();
+void set_fast_path_enabled(bool enabled);
+
+/// Resolve a call-site path against the global default.
+inline bool use_fast(KernelPath path) {
+  if (path == KernelPath::Fast) return true;
+  if (path == KernelPath::Reference) return false;
+  return fast_path_enabled();
+}
+
+}  // namespace ms::kernels

@@ -1,0 +1,49 @@
+#include "dsp/kernels/gfsk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/error.h"
+
+namespace ms::kernels {
+
+namespace {
+
+// discriminate()'s per-index output, verbatim: the product is the same
+// four multiplies / two add-subs the library complex multiply performs
+// on finite values (conj's negation is exact), the angle is the same
+// std::arg(Cf) call, and the final float cast of the double arg*scale
+// product rounds identically.
+inline float discriminate_at(std::span<const Cf> x, std::size_t i,
+                             double scale) {
+  const Cf a = x[i + 1];
+  const Cf b = x[i];
+  const Cf prod(a.real() * b.real() - a.imag() * -b.imag(),
+                a.real() * -b.imag() + a.imag() * b.real());
+  return static_cast<float>(std::arg(prod) * scale);
+}
+
+}  // namespace
+
+void gfsk_symbol_frequencies(std::span<const Cf> iq, double fs_hz,
+                             unsigned sps, std::span<float> out) {
+  MS_CHECK(fs_hz > 0.0);
+  MS_CHECK(sps >= 2);
+  MS_CHECK(iq.size() >= out.size() * sps);
+  // discriminate() on fewer than 2 samples yields an empty trace, and
+  // its output stops one short of the input.
+  const std::size_t fsize = iq.size() < 2 ? 0 : iq.size() - 1;
+  const double scale = fs_hz / (2.0 * M_PI);
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    const std::size_t lo = s * sps + sps / 4;
+    const std::size_t hi = s * sps + (3 * sps) / 4;
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = lo; i < hi && i < fsize; ++i, ++n)
+      acc += discriminate_at(iq, i, scale);
+    out[s] = n ? static_cast<float>(acc / static_cast<double>(n)) : 0.0f;
+  }
+}
+
+}  // namespace ms::kernels

@@ -1,0 +1,60 @@
+#include "dsp/kernels/interleave_plan.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace ms::kernels {
+
+InterleavePlan::InterleavePlan(unsigned n_cbps, unsigned n_bpsc)
+    : n_cbps_(n_cbps), perm_(n_cbps) {
+  MS_CHECK(n_cbps >= 16 && n_cbps % 16 == 0);
+  const unsigned s = std::max(n_bpsc / 2, 1u);
+  for (std::size_t k = 0; k < n_cbps; ++k) {
+    // The reference's two-permutation index function, verbatim.
+    const std::size_t i = (n_cbps / 16) * (k % 16) + (k / 16);
+    const std::size_t j = s * (i / s) + (i + n_cbps - (16 * i / n_cbps)) % s;
+    perm_[k] = static_cast<std::uint32_t>(j);
+  }
+}
+
+void InterleavePlan::interleave(std::span<const std::uint8_t> bits,
+                                std::span<std::uint8_t> out) const {
+  MS_CHECK(bits.size() % n_cbps_ == 0 && out.size() == bits.size());
+  const std::uint32_t* p = perm_.data();
+  for (std::size_t base = 0; base < bits.size(); base += n_cbps_) {
+    const std::uint8_t* in_sym = bits.data() + base;
+    std::uint8_t* out_sym = out.data() + base;
+    for (std::size_t k = 0; k < n_cbps_; ++k) out_sym[p[k]] = in_sym[k];
+  }
+}
+
+void InterleavePlan::deinterleave(std::span<const std::uint8_t> bits,
+                                  std::span<std::uint8_t> out) const {
+  MS_CHECK(bits.size() % n_cbps_ == 0 && out.size() == bits.size());
+  const std::uint32_t* p = perm_.data();
+  for (std::size_t base = 0; base < bits.size(); base += n_cbps_) {
+    const std::uint8_t* in_sym = bits.data() + base;
+    std::uint8_t* out_sym = out.data() + base;
+    for (std::size_t k = 0; k < n_cbps_; ++k) out_sym[k] = in_sym[p[k]];
+  }
+}
+
+const InterleavePlan& interleave_plan(unsigned n_cbps, unsigned n_bpsc) {
+  static std::mutex mu;
+  static std::map<std::pair<unsigned, unsigned>,
+                  std::unique_ptr<InterleavePlan>>
+      cache;
+  std::lock_guard<std::mutex> lock(mu);
+  const auto key = std::make_pair(n_cbps, n_bpsc);
+  auto it = cache.find(key);
+  if (it == cache.end())
+    it = cache.emplace(key, std::make_unique<InterleavePlan>(n_cbps, n_bpsc))
+             .first;
+  return *it->second;
+}
+
+}  // namespace ms::kernels

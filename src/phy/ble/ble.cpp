@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "dsp/fir.h"
+#include "dsp/kernels/gfsk.h"
 #include "dsp/mixer.h"
 #include "phy/crc.h"
 #include "phy/whitening.h"
@@ -117,6 +118,11 @@ Samples BlePhy::symbol_frequencies(std::span<const Cf> iq,
                                    std::size_t n_symbols) const {
   const unsigned sps = cfg_.samples_per_symbol;
   MS_CHECK(iq.size() >= n_symbols * sps);
+  if (kernels::use_fast(cfg_.path)) {
+    Samples out(n_symbols, 0.0f);
+    kernels::gfsk_symbol_frequencies(iq, sample_rate_hz(), sps, out);
+    return out;
+  }
   const Samples freq = discriminate(iq, sample_rate_hz());
   Samples out(n_symbols, 0.0f);
   for (std::size_t s = 0; s < n_symbols; ++s) {

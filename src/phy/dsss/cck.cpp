@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "dsp/kernels/cmac_bank.h"
 
 namespace ms {
 
@@ -57,8 +58,44 @@ void cck_data_phases(std::span<const uint8_t> bits, bool rate11,
   }
 }
 
-Bits cck_demap(std::span<const Cf> chips, bool rate11, Cf& rot) {
+namespace {
+
+kernels::CmacBank build_cck_bank(bool rate11) {
+  const unsigned n_codewords = rate11 ? 64 : 4;
+  kernels::CmacBank bank;
+  bank.reset(n_codewords, kCckChips);
+  Bits bits(rate11 ? 6 : 2);
+  for (unsigned code = 0; code < n_codewords; ++code) {
+    for (std::size_t b = 0; b < bits.size(); ++b)
+      bits[b] = static_cast<uint8_t>((code >> (bits.size() - 1 - b)) & 1u);
+    double phi2, phi3, phi4;
+    cck_data_phases(bits, rate11, phi2, phi3, phi4);
+    bank.set_candidate(code, cck_codeword(0.0, phi2, phi3, phi4));
+  }
+  return bank;
+}
+
+const kernels::CmacBank& cck_bank(bool rate11) {
+  static const kernels::CmacBank bank11 = build_cck_bank(true);
+  static const kernels::CmacBank bank55 = build_cck_bank(false);
+  return rate11 ? bank11 : bank55;
+}
+
+}  // namespace
+
+Bits cck_demap(std::span<const Cf> chips, bool rate11, Cf& rot,
+               kernels::KernelPath path) {
   MS_CHECK(chips.size() == kCckChips);
+  if (kernels::use_fast(path)) {
+    const auto best = cck_bank(rate11).best_match(chips);
+    Bits bits(rate11 ? 6 : 2);
+    for (std::size_t b = 0; b < bits.size(); ++b)
+      bits[b] =
+          static_cast<uint8_t>((best.index >> (bits.size() - 1 - b)) & 1u);
+    const double mag = std::abs(best.corr);
+    rot = best.corr / static_cast<float>(mag == 0.0 ? 1.0 : mag);
+    return bits;
+  }
   const unsigned n_codewords = rate11 ? 64 : 4;
   double best = -std::numeric_limits<double>::infinity();
   Bits best_bits;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "dsp/kernels/interleave_plan.h"
 
 namespace ms {
 
@@ -23,10 +24,14 @@ std::size_t interleave_index(std::size_t k, unsigned n_cbps, unsigned n_bpsc) {
 }  // namespace
 
 Bits interleave_11n(std::span<const uint8_t> bits, unsigned n_cbps,
-                    unsigned n_bpsc) {
+                    unsigned n_bpsc, kernels::KernelPath path) {
   MS_CHECK(n_cbps >= 16 && n_cbps % 16 == 0);
   MS_CHECK(bits.size() % n_cbps == 0);
   Bits out(bits.size());
+  if (kernels::use_fast(path)) {
+    kernels::interleave_plan(n_cbps, n_bpsc).interleave(bits, out);
+    return out;
+  }
   for (std::size_t sym = 0; sym < bits.size() / n_cbps; ++sym) {
     const std::size_t base = sym * n_cbps;
     for (std::size_t k = 0; k < n_cbps; ++k)
@@ -36,10 +41,14 @@ Bits interleave_11n(std::span<const uint8_t> bits, unsigned n_cbps,
 }
 
 Bits deinterleave_11n(std::span<const uint8_t> bits, unsigned n_cbps,
-                      unsigned n_bpsc) {
+                      unsigned n_bpsc, kernels::KernelPath path) {
   MS_CHECK(n_cbps >= 16 && n_cbps % 16 == 0);
   MS_CHECK(bits.size() % n_cbps == 0);
   Bits out(bits.size());
+  if (kernels::use_fast(path)) {
+    kernels::interleave_plan(n_cbps, n_bpsc).deinterleave(bits, out);
+    return out;
+  }
   for (std::size_t sym = 0; sym < bits.size() / n_cbps; ++sym) {
     const std::size_t base = sym * n_cbps;
     for (std::size_t k = 0; k < n_cbps; ++k)

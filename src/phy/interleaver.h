@@ -9,16 +9,21 @@
 #include <span>
 
 #include "common/bits.h"
+#include "dsp/kernels/config.h"
 
 namespace ms {
 
 /// Interleave one OFDM symbol.  n_cbps = coded bits per symbol,
-/// n_bpsc = bits per subcarrier (1 BPSK, 2 QPSK, 4 16-QAM).
+/// n_bpsc = bits per subcarrier (1 BPSK, 2 QPSK, 4 16-QAM).  The fast
+/// path replays a cached permutation table instead of recomputing the
+/// two-permutation index arithmetic per bit; output is identical.
 Bits interleave_11n(std::span<const uint8_t> bits, unsigned n_cbps,
-                    unsigned n_bpsc);
+                    unsigned n_bpsc,
+                    kernels::KernelPath path = kernels::KernelPath::Auto);
 
 /// Inverse of interleave_11n.
 Bits deinterleave_11n(std::span<const uint8_t> bits, unsigned n_cbps,
-                      unsigned n_bpsc);
+                      unsigned n_bpsc,
+                      kernels::KernelPath path = kernels::KernelPath::Auto);
 
 }  // namespace ms

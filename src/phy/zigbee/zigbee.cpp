@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "dsp/kernels/oqpsk_synth.h"
 #include "phy/crc.h"
 
 namespace ms {
@@ -40,6 +41,11 @@ Iq ZigbeePhy::modulate_symbols(std::span<const uint8_t> symbols) const {
   const std::size_t n_chips = symbols.size() * kZigbeeChipsPerSymbol;
   // Trailing half-chip for the last Q pulse.
   const std::size_t n_samples = n_chips * spc + spc;
+  if (kernels::use_fast(cfg_.path)) {
+    Iq out(n_samples);
+    kernels::oqpsk_synthesize(symbols, kPnTable, spc, out);
+    return out;
+  }
   Samples i_branch(n_samples, 0.0f), q_branch(n_samples, 0.0f);
 
   // Half-sine pulse spanning two chip periods.
@@ -113,11 +119,34 @@ const Iq& ZigbeePhy::reference_waveform(uint8_t symbol) const {
   return ref;
 }
 
+const kernels::CmacBank& ZigbeePhy::candidate_bank() const {
+  if (bank_.candidates() == 0) {
+    bank_.reset(16, samples_per_symbol() + cfg_.samples_per_chip);
+    for (uint8_t sym = 0; sym < 16; ++sym)
+      bank_.set_candidate(sym, reference_waveform(sym));
+  }
+  return bank_;
+}
+
 std::vector<ZigbeePhy::SymbolDetect> ZigbeePhy::detect_symbols(
     std::span<const Cf> iq, std::size_t n_symbols) const {
   const std::size_t sps = samples_per_symbol();
   MS_CHECK(iq.size() >= n_symbols * sps);
   std::vector<SymbolDetect> out(n_symbols);
+  if (kernels::use_fast(cfg_.path)) {
+    // Every candidate has the same length, so the bank's shared
+    // min(seg, length) window matches the per-candidate min the scalar
+    // loop takes.
+    const kernels::CmacBank& bank = candidate_bank();
+    for (std::size_t s = 0; s < n_symbols; ++s) {
+      const std::size_t avail = std::min(iq.size() - s * sps,
+                                         sps + cfg_.samples_per_chip);
+      const auto best = bank.best_match(iq.subspan(s * sps, avail));
+      out[s].symbol = static_cast<uint8_t>(best.index);
+      out[s].corr = best.corr;
+    }
+    return out;
+  }
   for (std::size_t s = 0; s < n_symbols; ++s) {
     const std::size_t avail = std::min(iq.size() - s * sps,
                                        sps + cfg_.samples_per_chip);

@@ -12,6 +12,8 @@
 
 #include "common/bits.h"
 #include "dsp/iq.h"
+#include "dsp/kernels/cmac_bank.h"
+#include "dsp/kernels/config.h"
 
 namespace ms {
 
@@ -25,6 +27,9 @@ std::span<const std::uint32_t> zigbee_pn_table();
 
 struct ZigbeeConfig {
   unsigned samples_per_chip = 4;  ///< 2 Mcps × 4 = 8 Msps baseband
+  /// Kernel pair selection for synthesis + despreading (bit-identical
+  /// either way; Reference is the oracle the differential tests pin).
+  kernels::KernelPath path = kernels::KernelPath::Auto;
 };
 
 class ZigbeePhy {
@@ -81,8 +86,14 @@ class ZigbeePhy {
   /// correlating detector); cached per PN index.
   const Iq& reference_waveform(uint8_t symbol) const;
 
+  /// Planar conj(ref) bank over all 16 PN waveforms for the fast
+  /// despreader; built lazily like ref_cache_ (instances are not
+  /// shared across threads).
+  const kernels::CmacBank& candidate_bank() const;
+
   ZigbeeConfig cfg_;
   mutable std::array<Iq, 16> ref_cache_;
+  mutable kernels::CmacBank bank_;
 };
 
 }  // namespace ms

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "dsp/kernels/config.h"
 #include "obs/profile.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -111,6 +112,11 @@ std::optional<std::string> parse_cli(int argc, const char* const* argv,
       if (!v || (*v != "on" && *v != "off"))
         return bad_value("--waveform-cache", v, "'on' or 'off'");
       opts.waveform_cache = (*v == "on");
+    } else if (arg == "--fast-path") {
+      const auto v = value("--fast-path");
+      if (!v || (*v != "on" && *v != "off"))
+        return bad_value("--fast-path", v, "'on' or 'off'");
+      opts.fast_path = (*v == "on");
     } else if (!arg.empty() && arg[0] == '-') {
       return "unknown flag: " + arg;
     } else {
@@ -129,6 +135,7 @@ std::string cli_usage(const char* prog) {
   u +=
       " [--threads N] [--trials N] [--seed S] [--out DIR]\n"
       "       [--metrics-out FILE] [--trace-out FILE] [--waveform-cache on|off]\n"
+      "       [--fast-path on|off]\n"
       "  --threads N        trial-engine worker threads (default: all cores)\n"
       "  --trials N         override the default trial count\n"
       "  --seed S           override the default master seed\n"
@@ -140,6 +147,10 @@ std::string cli_usage(const char* prog) {
       "                     reuse synthesized waveforms across trials\n"
       "                     (default on; results are bit-identical either\n"
       "                     way, off only trades speed for nothing)\n"
+      "  --fast-path on|off\n"
+      "                     SIMD/streaming PHY kernels (on) or their scalar\n"
+      "                     reference oracles (off); results are\n"
+      "                     bit-identical either way\n"
       "  --help             show this message\n";
   return u;
 }
@@ -168,6 +179,7 @@ CliOptions parse_cli_or_exit(int argc, const char* const* argv) {
   if (!opts.trace_out.empty() && obs::trace_mask() == 0)
     obs::set_trace_mask(obs::kAllSubsystems);
   WaveformCache::instance().set_reuse_enabled(opts.waveform_cache);
+  kernels::set_fast_path_enabled(opts.fast_path);
   return opts;
 }
 

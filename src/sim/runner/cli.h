@@ -12,6 +12,10 @@
 //                     reuse synthesized waveforms across trials (default
 //                     on; off re-synthesizes every trial — the bitwise
 //                     oracle for the cached path)
+//   --fast-path on|off
+//                     select the SIMD/streaming PHY kernels or their
+//                     scalar reference oracles (default on; results are
+//                     bit-identical either way)
 //   --help            print usage and exit 0
 // plus, for backward compatibility with the original benches, a single
 // bare positional argument which is treated as --out.  Anything else is
@@ -34,6 +38,7 @@ struct CliOptions {
   std::string metrics_out;    ///< empty = no metrics JSON dump
   std::string trace_out;      ///< empty = no trace JSONL dump
   bool waveform_cache = true; ///< reuse synthesized waveforms across trials
+  bool fast_path = true;      ///< SIMD kernels (true) or scalar oracles
   bool help = false;
 };
 

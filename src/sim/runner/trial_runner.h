@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "dsp/kernels/arena.h"
 #include "obs/telemetry.h"
 #include "sim/runner/thread_pool.h"
 #include "sim/runner/waveform_cache.h"
@@ -65,6 +66,9 @@ class TrialRunner {
         obs::ShardScope telemetry(&shards[i]);
         obs::set_trace_cell(static_cast<std::uint32_t>(point),
                             static_cast<std::uint32_t>(trial));
+        // Rewind this worker's kernel scratch arena: per-cell scratch
+        // is recycled, so steady-state cells allocate nothing.
+        kernels::scratch_arena().reset();
         Rng rng = master_.fork(point, trial);
         out[i] = fn(point, trial, rng);
       });
@@ -101,6 +105,7 @@ class TrialRunner {
       pool_.run_indexed(points, [&](std::size_t i) {
         obs::ShardScope telemetry(&shards[i]);
         obs::set_trace_cell(static_cast<std::uint32_t>(i), 0);
+        kernels::scratch_arena().reset();
         Rng rng = master_.fork(i, 0);
         out[i] = fn(i, rng);
       });

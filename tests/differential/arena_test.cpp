@@ -1,0 +1,97 @@
+// SampleArena + ChunkedSpan semantics: alignment, O(1) reset reuse,
+// scoped rewind, growth accounting, and chunked iteration.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "dsp/iq.h"
+#include "dsp/kernels/arena.h"
+
+namespace ms::kernels {
+namespace {
+
+TEST(SampleArena, AllocationsAreCacheLineAligned) {
+  SampleArena arena(128);
+  for (std::size_t n : {1u, 3u, 17u, 1000u}) {
+    const auto s = arena.alloc<float>(n);
+    ASSERT_EQ(s.size(), n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.data()) % SampleArena::kAlign,
+              0u);
+    const auto c = arena.alloc<Cf>(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c.data()) % SampleArena::kAlign,
+              0u);
+  }
+}
+
+TEST(SampleArena, ResetReusesMemoryWithoutGrowth) {
+  SampleArena arena(1 << 12);
+  arena.alloc<float>(500);  // trigger steady-state sizing
+  arena.reset();
+  const void* first = arena.alloc<float>(500).data();
+  const std::size_t cap = arena.capacity_bytes();
+  for (int iter = 0; iter < 100; ++iter) {
+    arena.reset();
+    EXPECT_EQ(arena.alloc<float>(500).data(), first);
+  }
+  EXPECT_EQ(arena.capacity_bytes(), cap) << "steady-state loop grew the arena";
+}
+
+TEST(SampleArena, AllocZeroFillsAndOversizeRequestsGrow) {
+  SampleArena arena(64);  // tiny first block forces the growth path
+  const auto z = arena.alloc_zero<std::uint32_t>(1000);
+  for (std::uint32_t v : z) ASSERT_EQ(v, 0u);
+  EXPECT_GE(arena.capacity_bytes(), 1000 * sizeof(std::uint32_t));
+  EXPECT_GE(arena.high_water_bytes(), 1000 * sizeof(std::uint32_t));
+}
+
+TEST(SampleArena, ScopeRewindsToMark) {
+  SampleArena arena(1 << 12);
+  const auto outer = arena.alloc<float>(8);
+  const void* next_before;
+  {
+    SampleArena::Scope scope(arena);
+    next_before = arena.alloc<float>(64).data();
+    arena.alloc<float>(256);
+  }
+  // After the scope dies, the same addresses are handed out again and
+  // the outer allocation is untouched.
+  EXPECT_EQ(arena.alloc<float>(64).data(), next_before);
+  EXPECT_EQ(outer.size(), 8u);
+}
+
+TEST(SampleArena, HighWaterTracksPeakNotCurrent) {
+  SampleArena arena(1 << 12);
+  arena.alloc<float>(100);
+  const std::size_t peak = arena.high_water_bytes();
+  arena.reset();
+  arena.alloc<float>(10);
+  EXPECT_GE(arena.high_water_bytes(), peak);
+}
+
+TEST(ChunkedSpan, WalksFixedChunksWithRaggedTail) {
+  std::vector<int> data(23);
+  std::iota(data.begin(), data.end(), 0);
+  ChunkedSpan<int> chunks(std::span<int>(data), 5);
+  ASSERT_EQ(chunks.size(), 5u);  // 4 full + 1 ragged
+  std::size_t seen = 0;
+  for (auto chunk : chunks) {
+    for (int v : chunk) EXPECT_EQ(v, static_cast<int>(seen++));
+  }
+  EXPECT_EQ(seen, data.size());
+  EXPECT_EQ(chunks[4].size(), 3u);
+  // Chunks alias the data — writes through a chunk land in the source.
+  chunks[0][0] = 42;
+  EXPECT_EQ(data[0], 42);
+}
+
+TEST(ChunkedSpan, ExactMultipleHasNoRaggedTail) {
+  std::vector<int> data(20);
+  ChunkedSpan<int> chunks(std::span<int>(data), 5);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (auto chunk : chunks) EXPECT_EQ(chunk.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ms::kernels

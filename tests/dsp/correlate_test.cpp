@@ -75,6 +75,69 @@ TEST(Correlate, SignCorrelationHalfAgreement) {
   EXPECT_DOUBLE_EQ(sign_correlation(a, b), 0.0);
 }
 
+// Tail-boundary coverage (mirrors the bitpack tail-word masking suite):
+// input lengths straddling multiples of the template window, where the
+// final window must consume exactly the trailing samples.
+TEST(Correlate, SlidingOutputSizeAtWindowBoundaries) {
+  Rng rng(4);
+  Samples tmpl(8);
+  for (float& v : tmpl) v = static_cast<float>(rng.normal());
+  for (std::size_t len : {7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u}) {
+    Samples x(len);
+    for (float& v : x) v = static_cast<float>(rng.normal());
+    const Samples c = sliding_correlation(x, tmpl);
+    if (len < tmpl.size()) {
+      EXPECT_TRUE(c.empty()) << "len=" << len;
+    } else {
+      EXPECT_EQ(c.size(), len - tmpl.size() + 1) << "len=" << len;
+    }
+  }
+}
+
+TEST(Correlate, ExactLengthInputYieldsSingleWindow) {
+  Rng rng(5);
+  Samples tmpl(16), x(16);
+  for (float& v : tmpl) v = static_cast<float>(rng.normal());
+  for (float& v : x) v = static_cast<float>(rng.normal());
+  const Samples c = sliding_correlation(x, tmpl);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_FLOAT_EQ(c[0], static_cast<float>(pearson(x, tmpl)));
+  EXPECT_NEAR(peak_correlation(x, tmpl), c[0], 1e-9);
+}
+
+TEST(Correlate, FinalWindowConsumesExactTail) {
+  // Perturbing the last input sample may change only the final window;
+  // perturbing the sample before the first window's end changes out[0].
+  Rng rng(6);
+  Samples tmpl(8);
+  for (float& v : tmpl) v = static_cast<float>(rng.normal());
+  Samples x(21);
+  for (float& v : x) v = static_cast<float>(rng.normal());
+  const Samples base = sliding_correlation(x, tmpl);
+  Samples bumped = x;
+  bumped.back() += 3.0f;
+  const Samples c = sliding_correlation(bumped, tmpl);
+  ASSERT_EQ(c.size(), base.size());
+  for (std::size_t i = 0; i + 1 < c.size(); ++i)
+    EXPECT_EQ(c[i], base[i]) << "window " << i << " saw the tail sample";
+  EXPECT_NE(c.back(), base.back());
+}
+
+TEST(Correlate, TemplateEmbeddedAtTailIsFound) {
+  Rng rng(7);
+  Samples tmpl(8);
+  for (float& v : tmpl) v = static_cast<float>(rng.normal());
+  for (std::size_t len : {8u, 9u, 17u, 33u}) {
+    Samples x(len);
+    for (float& v : x) v = static_cast<float>(rng.normal() * 0.05);
+    const std::size_t pos = len - tmpl.size();
+    for (std::size_t i = 0; i < tmpl.size(); ++i) x[pos + i] += tmpl[i];
+    const Samples c = sliding_correlation(x, tmpl);
+    EXPECT_EQ(argmax(c), pos) << "len=" << len;
+    EXPECT_GT(c[pos], 0.9f) << "len=" << len;
+  }
+}
+
 TEST(Correlate, PeakCorrelationMatchesSlidingMax) {
   Rng rng(3);
   Samples tmpl(16), x(100);

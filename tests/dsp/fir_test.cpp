@@ -69,6 +69,80 @@ TEST(Fir, SameLengthOutputAlignedWithInput) {
   EXPECT_EQ(peak, 16u);
 }
 
+// Edge/tail coverage (mirrors the bitpack tail-word masking suite):
+// inputs shorter than the taps, impulses at the clipped borders, and
+// non-multiple-of-window lengths where "same" alignment truncates the
+// convolution on one side.
+TEST(Fir, ImpulseAtBordersYieldsClippedTapSegment) {
+  const auto taps = design_lowpass(0.2, 11);
+  const std::ptrdiff_t delay = static_cast<std::ptrdiff_t>(taps.size() / 2);
+  for (std::size_t len : {1u, 5u, 10u, 11u, 12u, 23u}) {
+    for (std::size_t pos : {std::size_t{0}, len - 1}) {
+      Samples x(len, 0.0f);
+      x[pos] = 1.0f;
+      const Samples out = fir_filter(x, taps);
+      ASSERT_EQ(out.size(), len);
+      // out[i] = taps[pos + delay - i] wherever that index exists; the
+      // impulse makes each output a single tap, so equality is exact.
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::ptrdiff_t k =
+            static_cast<std::ptrdiff_t>(pos) + delay -
+            static_cast<std::ptrdiff_t>(i);
+        const float want =
+            (k >= 0 && k < static_cast<std::ptrdiff_t>(taps.size()))
+                ? taps[static_cast<std::size_t>(k)]
+                : 0.0f;
+        EXPECT_EQ(out[i], want) << "len=" << len << " pos=" << pos
+                                << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Fir, InputShorterThanTapsMatchesNaiveOracle) {
+  const auto taps = design_lowpass(0.25, 15);
+  const Samples x = {1.0f, -2.0f, 0.5f, 3.0f, -1.0f};  // 5 < 15 taps
+  const Samples out = fir_filter(x, taps);
+  ASSERT_EQ(out.size(), x.size());
+  const std::ptrdiff_t delay = static_cast<std::ptrdiff_t>(taps.size() / 2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    float want = 0.0f;
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      const std::ptrdiff_t j = static_cast<std::ptrdiff_t>(i) + delay -
+                               static_cast<std::ptrdiff_t>(k);
+      if (j >= 0 && j < static_cast<std::ptrdiff_t>(x.size()))
+        want += x[static_cast<std::size_t>(j)] * taps[k];
+    }
+    EXPECT_NEAR(out[i], want, 1e-6) << "i=" << i;
+  }
+}
+
+TEST(Fir, SingleTapScalesExactly) {
+  const std::vector<float> taps = {0.5f};
+  const Samples x = {2.0f, -4.0f, 6.0f};
+  const Samples out = fir_filter(x, taps);
+  ASSERT_EQ(out.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(out[i], 0.5f * x[i]);
+}
+
+TEST(Fir, ComplexFilterClipsTailsLikeReal) {
+  const auto taps = design_lowpass(0.2, 11);
+  for (std::size_t len : {1u, 3u, 10u, 11u, 12u}) {
+    Samples re(len);
+    for (std::size_t i = 0; i < len; ++i)
+      re[i] = static_cast<float>(i % 4) - 1.5f;
+    Iq cx(len);
+    for (std::size_t i = 0; i < len; ++i) cx[i] = Cf(re[i], -re[i]);
+    const Samples ro = fir_filter(re, taps);
+    const Iq co = fir_filter(cx, taps);
+    ASSERT_EQ(co.size(), len);
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_NEAR(co[i].real(), ro[i], 1e-6) << "len=" << len << " i=" << i;
+      EXPECT_NEAR(co[i].imag(), -ro[i], 1e-6) << "len=" << len << " i=" << i;
+    }
+  }
+}
+
 TEST(Fir, ComplexFilterMatchesRealOnRealInput) {
   const auto taps = design_lowpass(0.2, 15);
   Samples re = {1, 2, 3, 4, 5, 4, 3, 2, 1, 0, 0, 0, 1, 1};

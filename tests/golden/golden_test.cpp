@@ -55,7 +55,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("wifi_b_barker_chips.txt", "wifi_b_cck_chips.txt",
                       "ble_whitened_payload.txt", "zigbee_chip_waveform.txt",
                       "overlay_frame_bits.txt",
-                      "ident_packed_templates.txt"),
+                      "ident_packed_templates.txt",
+                      "ble_gfsk_softbits.txt",
+                      "ofdm_deinterleaved_bits.txt"),
     [](const ::testing::TestParamInfo<std::string>& info) {
       std::string name = info.param;
       for (char& c : name)
@@ -65,7 +67,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 // The builder list and the parameter list above must stay in sync.
 TEST(GoldenCorpus, CoversEveryBuilder) {
-  EXPECT_EQ(build_all().size(), 6u);
+  EXPECT_EQ(build_all().size(), 8u);
 }
 
 }  // namespace

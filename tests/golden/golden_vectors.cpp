@@ -6,8 +6,10 @@
 #include "core/ident/templates.h"
 #include "core/overlay/frame.h"
 #include "dsp/iq.h"
+#include "phy/ble/ble.h"
 #include "phy/dsss/barker.h"
 #include "phy/dsss/cck.h"
+#include "phy/interleaver.h"
 #include "phy/whitening.h"
 #include "phy/zigbee/zigbee.h"
 
@@ -143,11 +145,54 @@ Vector packed_template_vector() {
   return v;
 }
 
+// BLE GFSK receiver: the per-symbol soft frequencies (Hz) recovered
+// from a clean modulated waveform of a fixed bit pattern, at the
+// default 8 samples/symbol and at the coarse 2 samples/symbol.  Pins
+// the discriminator demod (conj-multiply → arg → middle-half average)
+// that both the scalar oracle and the fused kernel must reproduce
+// bit-for-bit.
+Vector gfsk_softbits_vector() {
+  Vector v{"ble_gfsk_softbits.txt", {}};
+  const Bytes payload = {0xaa, 0x0f, 0x96, 'b', 'l', 'e', 0x00, 0xff};
+  const Bits bits = bytes_to_bits_lsb(payload);
+  for (unsigned sps : {8u, 2u}) {
+    BleConfig cfg;
+    cfg.samples_per_symbol = sps;
+    const BlePhy phy(cfg);
+    const Samples freqs =
+        phy.symbol_frequencies(phy.modulate_bits(bits), bits.size());
+    for (float f : freqs) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%a", static_cast<double>(f));
+      v.lines.push_back(buf);
+    }
+  }
+  return v;
+}
+
+// 802.11n deinterleaver: the output permutation for each supported
+// (N_CBPS, N_BPSC) shape on a fixed aperiodic bit pattern, one line per
+// shape.  Pins the §18.3.5.7 two-step index math the cached-permutation
+// kernel replays from its table.
+Vector ofdm_deinterleave_vector() {
+  Vector v{"ofdm_deinterleaved_bits.txt", {}};
+  const std::pair<unsigned, unsigned> shapes[] = {{48, 1}, {96, 2}, {192, 4}};
+  for (auto [n_cbps, n_bpsc] : shapes) {
+    Bits in(2 * n_cbps);  // two symbols: catches cross-symbol mixing
+    for (std::size_t k = 0; k < in.size(); ++k)
+      in[k] = static_cast<uint8_t>((k % 3 == 0) ^ (k % 7 == 1));
+    v.lines.push_back(bits_line(deinterleave_11n(in, n_cbps, n_bpsc)));
+  }
+  return v;
+}
+
 }  // namespace
 
 std::vector<Vector> build_all() {
-  return {barker_vector(),  cck_vector(),    ble_vector(),
-          zigbee_vector(),  overlay_vector(), packed_template_vector()};
+  return {barker_vector(),   cck_vector(),
+          ble_vector(),      zigbee_vector(),
+          overlay_vector(),  packed_template_vector(),
+          gfsk_softbits_vector(), ofdm_deinterleave_vector()};
 }
 
 }  // namespace ms::golden

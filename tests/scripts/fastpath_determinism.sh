@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Fast-path determinism gate (ISSUE 7 satellite d).
+#
+# Runs bench_fig7_ordered and bench_fig13_los four ways each —
+# {--threads 1, --threads 8} × {--fast-path on, --fast-path off} — with
+# a fixed seed and trial count, then byte-compares every output CSV
+# across all four runs.  This is the end-to-end proof of the kernel
+# contract: the SIMD/streaming fast paths in src/dsp/kernels/ are
+# bit-identical to their scalar oracles (so figure CSVs cannot move when
+# the fast path is toggled), and the arena-backed sample path introduces
+# no thread-count dependence.
+#
+# usage: fastpath_determinism.sh <bench_fig7_ordered> <bench_fig13_los> <workdir>
+set -euo pipefail
+
+fig7="$1"
+fig13="$2"
+workdir="$3"
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+
+run() {
+  local bench="$1" name="$2" threads="$3" fast="$4"
+  local dir="$workdir/$name"
+  mkdir -p "$dir"
+  "$bench" --trials 2 --seed 7 --threads "$threads" \
+    --fast-path "$fast" --out "$dir" >"$dir/stdout.txt" 2>"$dir/stderr.txt"
+}
+
+for bench_name in fig7 fig13; do
+  bench_bin="$fig7"
+  [ "$bench_name" = fig13 ] && bench_bin="$fig13"
+  run "$bench_bin" "${bench_name}_t1_on" 1 on
+  run "$bench_bin" "${bench_name}_t8_on" 8 on
+  run "$bench_bin" "${bench_name}_t1_off" 1 off
+  run "$bench_bin" "${bench_name}_t8_off" 8 off
+
+  baseline="$workdir/${bench_name}_t1_on"
+  csvs=$(cd "$baseline" && ls ./*.csv)
+  [ -n "$csvs" ] || { echo "FAIL: no CSVs from $bench_name" >&2; exit 1; }
+  for f in $csvs; do
+    for variant in t8_on t1_off t8_off; do
+      if ! cmp -s "$baseline/$f" "$workdir/${bench_name}_${variant}/$f"; then
+        echo "FAIL: $bench_name $f differs between t1_on and $variant" >&2
+        diff "$baseline/$f" "$workdir/${bench_name}_${variant}/$f" >&2 || true
+        exit 1
+      fi
+    done
+  done
+  echo "$bench_name: CSVs byte-identical across threads 1/8 x fast-path on/off"
+done
+
+echo "fast-path determinism: all figure CSVs invariant to kernel path and thread count"
