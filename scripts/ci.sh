@@ -54,4 +54,19 @@ export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="print_stacktrace=1"
 run_suites "${repo_root}/build-asan"
 
+echo "==> chaos + watchdog gates under ASan"
+# The crash-safety paths deserve a sanitized pass of their own: the
+# checkpoint writer/loader (including the corruption-matrix unit tests
+# above), a quick kill-and-resume chain, and the watchdog quarantine all
+# run against the ASan binaries.  CHAOS_QUICK keeps the chaos matrix
+# affordable at sanitizer speed.
+chaos_dir="${repo_root}/build-asan/chaos"
+CHAOS_QUICK=1 bash "${repo_root}/tests/scripts/chaos_resume.sh" \
+    "${repo_root}/build-asan/bench/bench_fig7_ordered" \
+    "${repo_root}/build-asan/bench/bench_fig13_los" \
+    "${chaos_dir}/resume"
+bash "${repo_root}/tests/scripts/watchdog_quarantine.sh" \
+    "${repo_root}/build-asan/bench/bench_fig7_ordered" \
+    "${chaos_dir}/watchdog"
+
 echo "CI: all suites green (Release + sanitizers)"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "dsp/kernels/arena.h"
 
 namespace ms {
 
@@ -58,27 +59,7 @@ std::optional<IdentEvent> StreamingIdentifier::push(float sample) {
       ++active_samples_;
       window_.push_back(sample);
       if (window_.size() < window_len()) return std::nullopt;
-      // Window full: classify it.
-      const Samples trace(window_.begin(), window_.end());
-      const IdentDecision d = identifier_.classify(trace);
-      IdentEvent ev;
-      ev.trigger_sample = trigger_pos_;
-      ev.scores = d.scores;
-      ev.protocol = d.protocol;
-      ev.confidence = d.confidence;
-      ev.abstained = d.abstained;
-      // Hold off: first a minimum of one packet-detection window (the
-      // rest of the same preamble must not re-trigger), then wait for a
-      // run of quiet samples (carrier release).  An abstained window
-      // re-arms much sooner — the whole point of withholding the verdict
-      // is to sense again instead of sleeping through the next chance.
-      const double holdoff_s = d.abstained ? cfg_.abstain_rearm_s : 40e-6;
-      min_holdoff_remaining_ = static_cast<std::size_t>(
-          holdoff_s * cfg_.templates.adc_rate_hz);
-      holdoff_remaining_ = kQuietRunSamples;
-      state_ = State::Holdoff;
-      window_.clear();
-      return ev;
+      return classify_window();
     }
     case State::Holdoff: {
       if (min_holdoff_remaining_ > 0) {
@@ -99,11 +80,78 @@ std::optional<IdentEvent> StreamingIdentifier::push(float sample) {
   return std::nullopt;
 }
 
+IdentEvent StreamingIdentifier::classify_window() {
+  const Samples trace(window_.begin(), window_.end());
+  const IdentDecision d = identifier_.classify(trace);
+  IdentEvent ev;
+  ev.trigger_sample = trigger_pos_;
+  ev.scores = d.scores;
+  ev.protocol = d.protocol;
+  ev.confidence = d.confidence;
+  ev.abstained = d.abstained;
+  // Hold off: first a minimum of one packet-detection window (the
+  // rest of the same preamble must not re-trigger), then wait for a
+  // run of quiet samples (carrier release).  An abstained window
+  // re-arms much sooner — the whole point of withholding the verdict
+  // is to sense again instead of sleeping through the next chance.
+  const double holdoff_s = d.abstained ? cfg_.abstain_rearm_s : 40e-6;
+  min_holdoff_remaining_ =
+      static_cast<std::size_t>(holdoff_s * cfg_.templates.adc_rate_hz);
+  holdoff_remaining_ = kQuietRunSamples;
+  state_ = State::Holdoff;
+  window_.clear();
+  return ev;
+}
+
+void StreamingIdentifier::set_stream_chunk(std::size_t samples) {
+  MS_CHECK_MSG(samples > 0, "StreamingIdentifier stream chunk must be >= 1");
+  stream_chunk_ = samples;
+}
+
 std::vector<IdentEvent> StreamingIdentifier::push(
     std::span<const float> samples) {
   std::vector<IdentEvent> events;
-  for (float s : samples)
-    if (auto ev = push(s)) events.push_back(*ev);
+  const std::size_t full = window_len();
+  const kernels::ChunkedSpan<const float> chunks(samples, stream_chunk_);
+  for (std::span<const float> chunk : chunks) {
+    std::size_t i = 0;
+    while (i < chunk.size()) {
+      switch (state_) {
+        case State::Capturing: {
+          // Bulk-fill the capture window: every sample up to window_len
+          // is appended unconditionally by the reference path, so a run
+          // can be taken in one splice.
+          const std::size_t take =
+              std::min(chunk.size() - i, full - window_.size());
+          window_.insert(window_.end(), chunk.begin() + i,
+                         chunk.begin() + i + take);
+          position_ += take;
+          active_samples_ += take;
+          i += take;
+          if (window_.size() == full) events.push_back(classify_window());
+          break;
+        }
+        case State::Holdoff:
+          if (min_holdoff_remaining_ > 0) {
+            // Bulk-skip the minimum holdoff: the reference path only
+            // decrements the counter here, sample values are ignored.
+            const std::size_t skip =
+                std::min(chunk.size() - i, min_holdoff_remaining_);
+            min_holdoff_remaining_ -= skip;
+            position_ += skip;
+            i += skip;
+            break;
+          }
+          [[fallthrough]];  // quiet-run release depends on each sample
+        case State::Idle:
+          // Per-sample: the Idle noise-floor EMA and the holdoff quiet
+          // run both consume every sample's value.
+          if (auto ev = push(chunk[i])) events.push_back(*ev);
+          ++i;
+          break;
+      }
+    }
+  }
   return events;
 }
 

@@ -30,11 +30,24 @@ class StreamingIdentifier {
   explicit StreamingIdentifier(IdentifierConfig cfg);
 
   /// Push one ADC sample; returns an event when a packet window has just
-  /// been classified.
+  /// been classified.  This is the reference path — the block overload
+  /// below must match it event-for-event (the differential suite
+  /// compares the two directly).
   std::optional<IdentEvent> push(float sample);
 
-  /// Push a block of samples, collecting all events.
+  /// Push a block of samples, collecting all events.  Walks the block
+  /// as a kernels::ChunkedSpan and advances in bulk where the state
+  /// machine permits: Capturing windows fill by memcpy-sized runs and
+  /// min-holdoff intervals skip whole subspans, while the Idle
+  /// noise-floor EMA and the holdoff quiet-run stay per-sample (their
+  /// state depends on every sample).  Identical events/positions to
+  /// feeding push(float) sample-by-sample.
   std::vector<IdentEvent> push(std::span<const float> samples);
+
+  /// Chunk size for the block path (default 4096 samples).  Exposed so
+  /// the differential tests can force ragged chunk boundaries.
+  void set_stream_chunk(std::size_t samples);
+  std::size_t stream_chunk() const { return stream_chunk_; }
 
   /// Samples consumed so far.
   std::size_t position() const { return position_; }
@@ -49,6 +62,8 @@ class StreamingIdentifier {
   enum class State { Idle, Capturing, Holdoff };
 
   std::size_t window_len() const;
+  /// Classify the (full) capture window and transition to Holdoff.
+  IdentEvent classify_window();
 
   ProtocolIdentifier identifier_;
   IdentifierConfig cfg_;
@@ -59,6 +74,7 @@ class StreamingIdentifier {
   std::size_t holdoff_remaining_ = 0;
   std::size_t min_holdoff_remaining_ = 0;
   std::size_t active_samples_ = 0;
+  std::size_t stream_chunk_ = 4096;
   // Noise-floor tracker for the trigger threshold.
   double noise_floor_ = 0.0;
 };

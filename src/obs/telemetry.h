@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,8 +53,30 @@ class TelemetryShard {
     std::uint64_t n = 0;
   };
   HistogramValue histogram_value(MetricId id) const;
+  /// Zero-copy histogram read for hot-path serialization: bucket
+  /// tallies as held (empty when the slot was never observed into) —
+  /// no registry lookup, no allocation.
+  struct HistogramRef {
+    std::span<const std::uint64_t> counts;
+    double sum = 0.0;
+    std::uint64_t n = 0;
+  };
+  HistogramRef histogram_ref(MetricId id) const;
   const std::vector<TraceEvent>& events() const { return events_; }
   std::uint64_t events_dropped() const { return events_dropped_; }
+
+  // --- checkpoint serialization support (sim/runner/checkpoint) -------
+  /// One past the highest MetricId this shard has a slot for.
+  std::size_t slot_span() const { return slots_.size(); }
+  /// Did any write land in `id`'s slot?  (Distinguishes touched slots
+  /// from the zero-initialized tail so journals skip untouched ids.)
+  bool slot_used(MetricId id) const;
+  /// Overwrite `id`'s histogram state wholesale (journal replay; counts
+  /// must have metric_def(id).bounds.size() + 1 entries).
+  void restore_histogram(MetricId id, const std::vector<std::uint64_t>& counts,
+                         double sum, std::uint64_t n);
+  /// Overwrite the events-dropped tally (journal replay).
+  void restore_events_dropped(std::uint64_t n) { events_dropped_ = n; }
 
  private:
   struct Slot {

@@ -1,0 +1,94 @@
+#include "sim/faults/crash_point.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+
+namespace ms::faults {
+
+namespace {
+
+/// Parse a non-negative integer environment value, naming the variable
+/// and the offending text on failure.
+std::uint64_t parse_env_u64(const char* var, const std::string& value) {
+  if (value.empty())
+    throw Error(std::string(var) + " is set but empty");
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size())
+    throw Error(std::string(var) + "='" + value +
+                "' is not a non-negative integer");
+  return v;
+}
+
+struct CrashPlan {
+  bool armed = false;
+  std::uint64_t after_cells = 0;
+};
+
+const CrashPlan& crash_plan() {
+  static const CrashPlan plan = [] {
+    CrashPlan p;
+    if (const char* v = std::getenv("MS_CRASH_AFTER_CELLS")) {
+      p.after_cells = parse_env_u64("MS_CRASH_AFTER_CELLS", v);
+      p.armed = true;
+    }
+    return p;
+  }();
+  return plan;
+}
+
+struct HangPlan {
+  bool armed = false;
+  std::uint32_t point = 0;
+  std::uint32_t trial = 0;
+};
+
+const HangPlan& hang_plan() {
+  static const HangPlan plan = [] {
+    HangPlan p;
+    const char* v = std::getenv("MS_HANG_AT_CELL");
+    if (!v) return p;
+    const std::string s(v);
+    const std::size_t comma = s.find(',');
+    if (comma == std::string::npos)
+      throw Error("MS_HANG_AT_CELL='" + s +
+                  "' is not of the form <point>,<trial>");
+    p.point = static_cast<std::uint32_t>(
+        parse_env_u64("MS_HANG_AT_CELL", s.substr(0, comma)));
+    p.trial = static_cast<std::uint32_t>(
+        parse_env_u64("MS_HANG_AT_CELL", s.substr(comma + 1)));
+    p.armed = true;
+    return p;
+  }();
+  return plan;
+}
+
+std::atomic<std::uint64_t> g_cells_completed{0};
+std::atomic<bool> g_hang_taken{false};
+
+}  // namespace
+
+void on_cell_complete() {
+  const CrashPlan& plan = crash_plan();
+  if (!plan.armed) return;
+  const std::uint64_t done =
+      g_cells_completed.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (done >= plan.after_cells) std::raise(SIGKILL);
+}
+
+bool take_hang(std::uint32_t point, std::uint32_t trial) {
+  const HangPlan& plan = hang_plan();
+  if (!plan.armed || point != plan.point || trial != plan.trial) return false;
+  return !g_hang_taken.exchange(true, std::memory_order_relaxed);
+}
+
+}  // namespace ms::faults

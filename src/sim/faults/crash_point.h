@@ -1,0 +1,38 @@
+// Crash- and hang-point injection for the chaos harness.
+//
+// Two environment variables arm deterministic process-level faults so
+// tests/scripts/chaos_resume.sh and the watchdog-quarantine ctest can
+// kill or wedge a real bench at a chosen sweep cell without bespoke
+// builds:
+//
+//   MS_CRASH_AFTER_CELLS=N   After the N-th freshly-executed cell has
+//       been recorded to the checkpoint journal, raise(SIGKILL).  The
+//       hook runs AFTER GridCheckpoint::record, so with
+//       --checkpoint-interval 1 every counted cell is durable and a
+//       resumed run is guaranteed to make net progress.
+//   MS_HANG_AT_CELL=P,T      The first execution of cell (point P,
+//       trial T) hangs (cooperatively, via the trial watchdog) instead
+//       of running — once per process, so the resumed or quarantining
+//       run proceeds normally.
+//
+// Both parse at first use; a malformed value is an ms::Error naming the
+// variable and the value.  Unset variables cost one cached boolean per
+// hook.
+#pragma once
+
+#include <cstdint>
+
+namespace ms::faults {
+
+/// run_grid hook, called after each freshly-executed (non-restored)
+/// cell is recorded.  SIGKILLs the process when MS_CRASH_AFTER_CELLS
+/// cells have completed; otherwise returns.
+void on_cell_complete();
+
+/// run_grid hook, called before executing a cell.  True exactly once —
+/// for the first execution of the MS_HANG_AT_CELL cell — in a process
+/// where that variable is set; the caller then hangs via
+/// runner::hang_until_cancelled().
+bool take_hang(std::uint32_t point, std::uint32_t trial);
+
+}  // namespace ms::faults

@@ -1,0 +1,218 @@
+// Crash-safe checkpoint journal for the sweep engine.
+//
+// A sweep is resumable because the trial engine is deterministic: cell
+// (point, trial) draws from its own counter-based Rng stream and merges
+// happen in fixed row-major order (trial_runner.h), so a completed
+// cell's result and telemetry shard are pure functions of the config —
+// they can be replayed from disk instead of recomputed, and the final
+// output is byte-identical to an uninterrupted run at any --threads.
+//
+// The journal is an append-only sequence of CRC32-framed records over a
+// fixed header:
+//
+//   header   : magic "MSCP" | u32 version=1 | u64 config_hash | u64 rsvd
+//   record   : u32 type | u32 payload_len | u32 crc32(payload) | payload
+//
+// Record types (payloads are packed little-endian/host-order scalars):
+//   MetricTable (3): snapshot of the metric registry — count, then per
+//       metric: u32 id | u8 kind | str name | u32 n_bounds |
+//       f64 bounds[].  Written with the header, and re-emitted
+//       mid-stream whenever the registry has grown (metrics register
+//       lazily), always ahead of any cell that references the new ids;
+//       the loader applies tables in stream order and remaps journal
+//       metric ids to the resuming process's registry by name.
+//   GridBegin (1): u32 grid_id | u32 epoch_seq | u64 points |
+//       u64 trials | u64 master_seed | u32 cell_payload_bytes.  One per
+//       journaled run_grid call, in program order.
+//   CacheKey (4): u8 kind | u8 protocol | u64 params | u32 len |
+//       payload bytes.  A waveform-cache key whose epoch miss was
+//       attributed to the NEXT Cell record in the stream; on resume the
+//       key is pre-marked as accounted so redone cells record hits, not
+//       duplicate misses (see waveform_cache.h's epoch contract).
+//   Cell (2): u32 grid_id | u32 point | u32 trial | u8 flags (bit 0 =
+//       poison) | result[cell_payload_bytes] | shard blob.  The shard
+//       blob serializes the cell's telemetry delta: used metric slots
+//       (counter count / gauge value / histogram buckets+sum+n), trace
+//       events (with inline strings), and the events-dropped tally.
+//
+// Write discipline: completed cells append to per-worker buffers (each
+// append is one atomic [CacheKey...][Cell] group), and a flush drains
+// the buffers in worker-index order and appends the delta to the open
+// journal file.  The header + initial MetricTable are published once by
+// tmp-file write, fsync, and atomic rename, so a resuming loader never
+// sees a torn header; after that the file only grows.  A SIGKILL can
+// only lose cells that had not been flushed (bounded by
+// --checkpoint-interval); interval flushes reach the page cache (fflush
+// — which survives any process crash) while full fsync durability is
+// paid only at publish, disarm, and signal drain, keeping the per-cell
+// overhead off the sweep's critical path.  An OS-level crash can at
+// worst tear the appended tail, which LoadPolicy::TolerateTruncatedTail
+// recovers from by dropping it.
+//
+// Strings in str fields are u16 length + bytes.  See recovery.h for the
+// hardened loader and docs/RUNNER.md for the resume semantics.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "sim/runner/recovery.h"
+#include "sim/runner/waveform_cache.h"
+
+namespace ms::ckpt {
+
+// --- framing constants (shared with the loader) -----------------------
+inline constexpr char kMagic[4] = {'M', 'S', 'C', 'P'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 24;      // magic+ver+hash+rsvd
+inline constexpr std::size_t kFrameBytes = 12;       // type+len+crc
+inline constexpr std::uint32_t kRecGridBegin = 1;
+inline constexpr std::uint32_t kRecCell = 2;
+inline constexpr std::uint32_t kRecMetricTable = 3;
+inline constexpr std::uint32_t kRecCacheKey = 4;
+inline constexpr std::uint8_t kCellFlagPoison = 1;
+
+/// CRC32 (IEEE 802.3, poly 0xEDB88320, reflected), the same polynomial
+/// phy/crc.h models bit-serially; this one is table-driven for framing.
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+/// Identity hash for --resume validation: a journal written under one
+/// (program, seed, trials, trial-deadline) tuple must not seed a resume
+/// under another (threads / cache / fast-path are deliberately excluded
+/// — results are invariant to them, so resuming across them is legal
+/// and is exactly what the chaos harness exercises).
+std::uint64_t config_hash(const std::string& program, std::uint64_t seed,
+                          std::uint64_t trials, std::uint64_t deadline_ms);
+
+struct CheckpointConfig {
+  std::string path;               ///< journal file ("" = restore-only)
+  std::uint64_t config_hash = 0;  ///< from ckpt::config_hash()
+  std::size_t flush_interval = 32;  ///< cells per flush (>= 1)
+};
+
+/// Process-wide checkpoint session.  Unarmed (the default) every hook
+/// below is a cheap early-out, so sweeps without --checkpoint-out pay
+/// one predictable branch per cell.
+class CheckpointSession {
+ public:
+  static CheckpointSession& instance();
+
+  /// Arm the session: journal completed cells to cfg.path (if set) and
+  /// adopt `recovered` (if set) so subsequent grids skip journaled
+  /// cells.  Throws if already armed or cfg.flush_interval == 0.
+  void arm(CheckpointConfig cfg, std::optional<RecoveredJournal> recovered);
+
+  /// Final flush, then return to the unarmed state.
+  void disarm();
+
+  bool armed() const;
+
+  /// TrialRunner construction bumps the runner-epoch counter; GridBegin
+  /// records it so a resume can verify the journal's grids line up with
+  /// the program's runner sequence.
+  void notify_runner_epoch();
+
+  /// Drain pending per-worker buffers and publish the journal now.
+  void flush();
+
+  /// Journal path ("" when unarmed or restore-only).
+  std::string path() const;
+
+  // --- graceful SIGINT/SIGTERM drain ----------------------------------
+  /// Install the drain handlers (idempotent).  After a signal, every
+  /// in-flight cell finishes, queued cells are skipped, and
+  /// finish_drain_if_requested() publishes the journal and exits
+  /// 128+signo.
+  static void install_drain_handlers();
+  static bool drain_requested();
+  /// Called by run_grid after its pool drains; no-op unless a drain
+  /// signal arrived, in which case this never returns.
+  static void finish_drain_if_requested();
+
+ private:
+  CheckpointSession() = default;
+  friend class GridCheckpoint;
+  friend void note_cache_miss(const WaveformKey& key);
+
+  void publish_locked();
+  void flush_locked();
+  void close_file_locked();
+  std::string& worker_buffer_locked();
+
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  CheckpointConfig cfg_;
+  std::vector<std::string> buffers_;  ///< per-worker pending groups
+  std::string pending_;               ///< drained, not yet written bytes
+  void* file_ = nullptr;              ///< FILE* kept open for appends
+  std::size_t table_metrics_ = 0;     ///< registry size at last table
+  std::size_t pending_cells_ = 0;
+  std::uint32_t next_grid_id_ = 0;
+  std::uint32_t epoch_seq_ = 0;
+  RecoveredJournal recovered_;
+  std::size_t next_recovered_grid_ = 0;
+};
+
+/// Per-run_grid checkpoint handle.  Inactive (all queries false/no-op)
+/// when the session is unarmed or the grid's result type is not
+/// journalable.
+class GridCheckpoint {
+ public:
+  GridCheckpoint() = default;
+
+  /// Open the next journal grid: assigns a sequential grid_id, writes a
+  /// GridBegin record, and — when a recovered journal holds a matching
+  /// grid — adopts its cells (re-encoding them into the new journal and
+  /// pre-marking their cache keys as accounted).  A recovered grid
+  /// whose shape (points/trials/seed/payload size/epoch sequence)
+  /// disagrees with the live grid throws an ms::Error naming the field.
+  static GridCheckpoint begin(std::size_t points, std::size_t trials,
+                              std::uint64_t master_seed,
+                              std::size_t payload_bytes);
+
+  bool active() const { return active_; }
+
+  /// Was cell `index` (row-major) journaled by the crashed run?
+  bool restored(std::size_t index) const {
+    return active_ && index < restore_index_.size() &&
+           restore_index_[index] != kNoCell;
+  }
+
+  /// Replay a journaled cell: copy its payload bytes into payload_out,
+  /// its telemetry shard into *shard, its poison flag into *poison.
+  void restore(std::size_t index, void* payload_out,
+               obs::TelemetryShard* shard, bool* poison) const;
+
+  /// Journal a freshly-computed cell (payload_bytes bytes at payload,
+  /// plus its shard delta and any cache keys attributed since
+  /// note_cell_start()).  Flushes when the interval is reached.
+  void record(std::size_t index, const void* payload,
+              const obs::TelemetryShard& shard, bool poison) const;
+
+ private:
+  static constexpr std::uint32_t kNoCell = 0xffffffffu;
+
+  bool active_ = false;
+  std::uint32_t grid_id_ = 0;
+  std::uint64_t trials_ = 0;
+  std::size_t payload_bytes_ = 0;
+  const RecoveredGrid* adopted_ = nullptr;  ///< owned by the session
+  std::vector<std::uint32_t> restore_index_;
+};
+
+/// Clear the calling thread's pending cache-key attributions (run_grid
+/// calls this at the top of every freshly-executed cell).
+void note_cell_start();
+
+/// WaveformCache miss hook: attribute `key`'s epoch miss to the cell
+/// the calling thread is executing.  No-op when the session is unarmed.
+void note_cache_miss(const WaveformKey& key);
+
+}  // namespace ms::ckpt

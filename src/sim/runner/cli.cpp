@@ -10,6 +10,9 @@
 #include "obs/profile.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "sim/runner/checkpoint.h"
+#include "sim/runner/recovery.h"
+#include "sim/runner/watchdog.h"
 #include "sim/runner/waveform_cache.h"
 
 namespace ms {
@@ -117,6 +120,29 @@ std::optional<std::string> parse_cli(int argc, const char* const* argv,
       if (!v || (*v != "on" && *v != "off"))
         return bad_value("--fast-path", v, "'on' or 'off'");
       opts.fast_path = (*v == "on");
+    } else if (arg == "--checkpoint-out") {
+      const auto v = value("--checkpoint-out");
+      if (!v) return bad_value("--checkpoint-out", v, "a file path");
+      opts.checkpoint_out = *v;
+    } else if (arg == "--checkpoint-interval") {
+      const auto v = value("--checkpoint-interval");
+      std::uint64_t n = 0;
+      // Interval 0 would mean "never flush", i.e. a journal that cannot
+      // save anyone; the smallest honest value is every cell.
+      if (!v || !parse_u64(*v, n) || n == 0)
+        return bad_value("--checkpoint-interval", v, "a positive integer");
+      opts.checkpoint_interval = static_cast<std::size_t>(n);
+    } else if (arg == "--resume") {
+      const auto v = value("--resume");
+      if (!v) return bad_value("--resume", v, "a checkpoint journal path");
+      opts.resume = *v;
+    } else if (arg == "--trial-deadline-ms") {
+      const auto v = value("--trial-deadline-ms");
+      std::uint64_t n = 0;
+      if (!v || !parse_u64(*v, n))
+        return bad_value("--trial-deadline-ms", v,
+                         "a non-negative integer (0 disables the watchdog)");
+      opts.trial_deadline_ms = n;
     } else if (!arg.empty() && arg[0] == '-') {
       return "unknown flag: " + arg;
     } else {
@@ -135,7 +161,9 @@ std::string cli_usage(const char* prog) {
   u +=
       " [--threads N] [--trials N] [--seed S] [--out DIR]\n"
       "       [--metrics-out FILE] [--trace-out FILE] [--waveform-cache on|off]\n"
-      "       [--fast-path on|off]\n"
+      "       [--fast-path on|off] [--checkpoint-out FILE]\n"
+      "       [--checkpoint-interval N] [--resume FILE]\n"
+      "       [--trial-deadline-ms N]\n"
       "  --threads N        trial-engine worker threads (default: all cores)\n"
       "  --trials N         override the default trial count\n"
       "  --seed S           override the default master seed\n"
@@ -151,6 +179,19 @@ std::string cli_usage(const char* prog) {
       "                     SIMD/streaming PHY kernels (on) or their scalar\n"
       "                     reference oracles (off); results are\n"
       "                     bit-identical either way\n"
+      "  --checkpoint-out FILE\n"
+      "                     journal completed sweep cells to FILE so a\n"
+      "                     crashed or SIGINT/SIGTERM-drained run can be\n"
+      "                     resumed (crash-safe: published by atomic rename)\n"
+      "  --checkpoint-interval N\n"
+      "                     cells between journal publications (default 32;\n"
+      "                     1 = publish after every cell)\n"
+      "  --resume FILE      skip the cells FILE journaled; the final output\n"
+      "                     is byte-identical to an uninterrupted run at any\n"
+      "                     --threads\n"
+      "  --trial-deadline-ms N\n"
+      "                     cancel + quarantine any cell running longer than\n"
+      "                     N ms as a poison cell (default 0 = off)\n"
       "  --help             show this message\n";
   return u;
 }
@@ -168,8 +209,9 @@ CliOptions parse_cli_or_exit(int argc, const char* const* argv) {
     std::exit(0);
   }
   if (!(err = ensure_dir(opts.out_dir)) &&
-      !(err = ensure_parent_dir(opts.metrics_out)))
-    err = ensure_parent_dir(opts.trace_out);
+      !(err = ensure_parent_dir(opts.metrics_out)) &&
+      !(err = ensure_parent_dir(opts.trace_out)))
+    err = ensure_parent_dir(opts.checkpoint_out);
   if (err) {
     std::fprintf(stderr, "error: %s\n", err->c_str());
     std::exit(2);
@@ -180,11 +222,71 @@ CliOptions parse_cli_or_exit(int argc, const char* const* argv) {
     obs::set_trace_mask(obs::kAllSubsystems);
   WaveformCache::instance().set_reuse_enabled(opts.waveform_cache);
   kernels::set_fast_path_enabled(opts.fast_path);
+  runner::set_default_trial_deadline(
+      static_cast<double>(opts.trial_deadline_ms) * 1e-3);
+  if (!opts.checkpoint_out.empty() || !opts.resume.empty()) {
+    // The identity hash covers the knobs that change WHAT is computed
+    // (program, seed, trials, deadline) and deliberately excludes the
+    // ones results are invariant to (threads, cache, fast path) —
+    // resuming across those is legal and is what the chaos harness
+    // exercises.
+    const std::string program =
+        std::filesystem::path(argv[0]).filename().string();
+    const std::uint64_t hash =
+        ckpt::config_hash(program, opts.seed, opts.trials,
+                          opts.trial_deadline_ms);
+    std::optional<ckpt::RecoveredJournal> recovered;
+    if (!opts.resume.empty()) {
+      try {
+        recovered = ckpt::load_journal(
+            opts.resume, ckpt::LoadPolicy::TolerateTruncatedTail);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: --resume '%s': %s\n",
+                     opts.resume.c_str(), e.what());
+        std::exit(2);
+      }
+      for (const std::string& w : recovered->warnings)
+        std::fprintf(stderr, "warning: %s\n", w.c_str());
+      if (recovered->config_hash != hash) {
+        std::fprintf(stderr,
+                     "error: --resume '%s': journal config hash %016llx does "
+                     "not match this invocation's %016llx — the journal was "
+                     "written under a different program, --seed, --trials, "
+                     "or --trial-deadline-ms\n",
+                     opts.resume.c_str(),
+                     static_cast<unsigned long long>(recovered->config_hash),
+                     static_cast<unsigned long long>(hash));
+        std::exit(2);
+      }
+      std::fprintf(stderr, "resume: replaying %zu journaled cells from %s\n",
+                   recovered->cell_count(), opts.resume.c_str());
+    }
+    ckpt::CheckpointConfig ck;
+    ck.path = opts.checkpoint_out;
+    ck.config_hash = hash;
+    ck.flush_interval = opts.checkpoint_interval;
+    ckpt::CheckpointSession::instance().arm(std::move(ck),
+                                            std::move(recovered));
+    // Drain-on-signal only makes sense when there is a journal to
+    // publish; a restore-only session keeps the default signal behavior.
+    if (!opts.checkpoint_out.empty())
+      ckpt::CheckpointSession::install_drain_handlers();
+  }
   return opts;
 }
 
 bool finish_bench_output(const CliOptions& opts) {
   bool ok = true;
+  if (ckpt::CheckpointSession::instance().armed()) {
+    try {
+      // Final journal publication: the completed sweep's checkpoint is
+      // left on disk (a no-op --resume of a finished run is legal).
+      ckpt::CheckpointSession::instance().disarm();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      ok = false;
+    }
+  }
   if (!opts.metrics_out.empty()) {
     try {
       obs::write_metrics_json_file(opts.metrics_out);

@@ -16,6 +16,20 @@
 //                     select the SIMD/streaming PHY kernels or their
 //                     scalar reference oracles (default on; results are
 //                     bit-identical either way)
+//   --checkpoint-out F
+//                     journal completed sweep cells to F (crash-safe;
+//                     see docs/RUNNER.md)
+//   --checkpoint-interval N
+//                     cells between journal publications (default 32)
+//   --resume F        skip cells journaled in F by a previous (crashed
+//                     or drained) run; the final output is byte-identical
+//                     to an uninterrupted run.  Rejected when F was
+//                     written under a different program/seed/trials/
+//                     deadline configuration.
+//   --trial-deadline-ms N
+//                     per-cell watchdog: a cell running longer than N ms
+//                     is cancelled and quarantined as a poison cell
+//                     (0 = off, the default)
 //   --help            print usage and exit 0
 // plus, for backward compatibility with the original benches, a single
 // bare positional argument which is treated as --out.  Anything else is
@@ -39,6 +53,10 @@ struct CliOptions {
   std::string trace_out;      ///< empty = no trace JSONL dump
   bool waveform_cache = true; ///< reuse synthesized waveforms across trials
   bool fast_path = true;      ///< SIMD kernels (true) or scalar oracles
+  std::string checkpoint_out; ///< empty = no checkpoint journal
+  std::size_t checkpoint_interval = 32;  ///< cells per journal flush
+  std::string resume;         ///< empty = fresh run; else journal to resume
+  std::uint64_t trial_deadline_ms = 0;   ///< 0 = per-trial watchdog off
   bool help = false;
 };
 

@@ -1,0 +1,334 @@
+#include "sim/runner/recovery.h"
+
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "sim/runner/checkpoint.h"
+
+namespace ms::ckpt {
+
+namespace {
+
+/// Torn-tail defects: recoverable under TolerateTruncatedTail.  Raised
+/// only for damage consistent with an interrupted write (truncation,
+/// CRC mismatch); defects INSIDE a CRC-verified payload mean the writer
+/// or the format is wrong and always throw ms::Error instead.
+struct TornTail {
+  std::string what;
+};
+
+/// Bounds-checked reader over the journal bytes.  Every getter names
+/// the field it was reading and the absolute offset it failed at.
+struct Cursor {
+  const unsigned char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  const std::string& path;
+  bool in_payload = false;  ///< truncation inside a CRC-verified payload
+
+  void need(std::size_t n, const char* field) {
+    if (pos + n <= size) return;
+    const std::string msg =
+        "checkpoint '" + path + "': truncated " + std::string(field) +
+        " at offset " + std::to_string(pos) + " (need " + std::to_string(n) +
+        " bytes, " + std::to_string(size - pos) + " remain)";
+    if (in_payload) throw Error(msg);
+    throw TornTail{msg};
+  }
+
+  std::uint8_t get_u8(const char* field) {
+    need(1, field);
+    return data[pos++];
+  }
+  template <typename T>
+  T get_scalar(const char* field) {
+    need(sizeof(T), field);
+    T v;
+    std::memcpy(&v, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+  std::uint16_t get_u16(const char* f) { return get_scalar<std::uint16_t>(f); }
+  std::uint32_t get_u32(const char* f) { return get_scalar<std::uint32_t>(f); }
+  std::uint64_t get_u64(const char* f) { return get_scalar<std::uint64_t>(f); }
+  double get_f64(const char* f) { return get_scalar<double>(f); }
+
+  std::string get_str(const char* field) {
+    const std::uint16_t len = get_u16(field);
+    need(len, field);
+    std::string s(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+    return s;
+  }
+  std::vector<std::uint8_t> get_bytes(std::size_t n, const char* field) {
+    need(n, field);
+    std::vector<std::uint8_t> v(data + pos, data + pos + n);
+    pos += n;
+    return v;
+  }
+};
+
+/// Journal metric id -> this process's metric id (built from the
+/// MetricTable record; registration is by name, so the mapping is
+/// immune to the two processes reaching instrumentation sites in
+/// different orders).
+using MetricRemap = std::vector<obs::MetricId>;
+constexpr obs::MetricId kUnmapped = 0xffffffffu;
+
+void decode_metric_table(Cursor& c, MetricRemap& remap) {
+  const std::uint32_t n = c.get_u32("MetricTable.count");
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t jid = c.get_u32("MetricTable.id");
+    const std::uint8_t kind = c.get_u8("MetricTable.kind");
+    const std::string name = c.get_str("MetricTable.name");
+    const std::uint32_t n_bounds = c.get_u32("MetricTable.n_bounds");
+    std::vector<double> bounds(n_bounds);
+    for (std::uint32_t b = 0; b < n_bounds; ++b)
+      bounds[b] = c.get_f64("MetricTable.bound");
+    obs::MetricId pid = 0;
+    switch (kind) {
+      case static_cast<std::uint8_t>(obs::MetricKind::Counter):
+        pid = obs::counter(name.c_str());
+        break;
+      case static_cast<std::uint8_t>(obs::MetricKind::Gauge):
+        pid = obs::gauge(name.c_str());
+        break;
+      case static_cast<std::uint8_t>(obs::MetricKind::Histogram):
+        pid = obs::histogram(name.c_str(), bounds);
+        break;
+      default:
+        throw Error("checkpoint '" + c.path + "': MetricTable.kind " +
+                    std::to_string(kind) + " for metric '" + name +
+                    "' at offset " + std::to_string(c.pos) +
+                    " is not a known MetricKind (expected 0..2)");
+    }
+    if (jid >= remap.size()) remap.resize(jid + 1, kUnmapped);
+    remap[jid] = pid;
+  }
+}
+
+obs::MetricId remap_id(const Cursor& c, const MetricRemap& remap,
+                       std::uint32_t jid) {
+  if (jid < remap.size() && remap[jid] != kUnmapped) return remap[jid];
+  throw Error("checkpoint '" + c.path + "': Cell.slot.id " +
+              std::to_string(jid) + " near offset " + std::to_string(c.pos) +
+              " has no entry in the journal's MetricTable");
+}
+
+void decode_shard(Cursor& c, const MetricRemap& remap,
+                  obs::TelemetryShard& shard) {
+  const std::uint32_t n_slots = c.get_u32("Cell.n_slots");
+  for (std::uint32_t i = 0; i < n_slots; ++i) {
+    const obs::MetricId pid = remap_id(c, remap, c.get_u32("Cell.slot.id"));
+    const std::uint8_t kind = c.get_u8("Cell.slot.kind");
+    switch (kind) {
+      case static_cast<std::uint8_t>(obs::MetricKind::Counter):
+        shard.add(pid, c.get_u64("Cell.slot.count"));
+        break;
+      case static_cast<std::uint8_t>(obs::MetricKind::Gauge):
+        shard.set(pid, c.get_f64("Cell.slot.value"));
+        break;
+      case static_cast<std::uint8_t>(obs::MetricKind::Histogram): {
+        const std::uint32_t nb = c.get_u32("Cell.slot.n_buckets");
+        const std::size_t want = obs::metric_def(pid).bounds.size() + 1;
+        if (nb != want)
+          throw Error("checkpoint '" + c.path + "': Cell.slot.n_buckets " +
+                      std::to_string(nb) + " at offset " +
+                      std::to_string(c.pos) + " does not match metric '" +
+                      obs::metric_def(pid).name + "' (expected " +
+                      std::to_string(want) + ")");
+        std::vector<std::uint64_t> counts(nb);
+        for (std::uint32_t b = 0; b < nb; ++b)
+          counts[b] = c.get_u64("Cell.slot.bucket");
+        const double sum = c.get_f64("Cell.slot.sum");
+        const std::uint64_t n = c.get_u64("Cell.slot.n");
+        shard.restore_histogram(pid, counts, sum, n);
+        break;
+      }
+      default:
+        throw Error("checkpoint '" + c.path + "': Cell.slot.kind " +
+                    std::to_string(kind) + " at offset " +
+                    std::to_string(c.pos) +
+                    " is not a known MetricKind (expected 0..2)");
+    }
+  }
+  const std::uint32_t n_events = c.get_u32("Cell.n_events");
+  for (std::uint32_t i = 0; i < n_events; ++i) {
+    obs::TraceEvent ev;
+    ev.point = c.get_u32("Cell.event.point");
+    ev.trial = c.get_u32("Cell.event.trial");
+    ev.sim_time = c.get_f64("Cell.event.sim_time");
+    ev.subsys = static_cast<obs::Subsystem>(c.get_u32("Cell.event.subsys"));
+    const std::uint8_t sev = c.get_u8("Cell.event.severity");
+    if (sev > 3)
+      throw Error("checkpoint '" + c.path + "': Cell.event.severity " +
+                  std::to_string(sev) + " at offset " + std::to_string(c.pos) +
+                  " is not a known Severity (expected 0..3)");
+    ev.severity = static_cast<obs::Severity>(sev);
+    ev.name = intern_string(c.get_str("Cell.event.name"));
+    const std::uint8_t n_fields = c.get_u8("Cell.event.n_fields");
+    if (n_fields > obs::TraceEvent::kMaxFields)
+      throw Error("checkpoint '" + c.path + "': Cell.event.n_fields " +
+                  std::to_string(n_fields) + " at offset " +
+                  std::to_string(c.pos) + " exceeds the maximum of " +
+                  std::to_string(obs::TraceEvent::kMaxFields));
+    ev.n_fields = n_fields;
+    for (std::uint8_t fi = 0; fi < n_fields; ++fi) {
+      ev.fields[fi].key = intern_string(c.get_str("Cell.event.field.key"));
+      const bool is_str = c.get_u8("Cell.event.field.is_str") != 0;
+      if (is_str)
+        ev.fields[fi].str =
+            intern_string(c.get_str("Cell.event.field.str"));
+      else
+        ev.fields[fi].num = c.get_f64("Cell.event.field.num");
+    }
+    shard.record_event(ev);
+  }
+  shard.restore_events_dropped(c.get_u64("Cell.events_dropped"));
+}
+
+}  // namespace
+
+const char* intern_string(const std::string& s) {
+  // Process-lifetime pool: decoded events must honor the TraceEvent
+  // contract that name/key/str pointers outlive every use of the
+  // aggregate.  std::unordered_set is node-based, so the pointers are
+  // stable across rehashes.
+  static std::mutex mu;
+  static std::unordered_set<std::string> pool;
+  std::lock_guard<std::mutex> lk(mu);
+  return pool.insert(s).first->c_str();
+}
+
+RecoveredJournal load_journal(const std::string& path, LoadPolicy policy) {
+  std::ifstream f(path, std::ios::binary);
+  MS_CHECK_MSG(f.is_open(), "cannot open checkpoint for read: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  MS_CHECK_MSG(f.good() || f.eof(), "checkpoint read failed: " + path);
+
+  Cursor c{reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size(),
+           0, path};
+  RecoveredJournal out;
+
+  // Header defects are always fatal: a journal that misidentifies
+  // itself is rejected under both policies.
+  if (bytes.size() < kHeaderBytes)
+    throw Error("checkpoint '" + path + "': truncated header at offset 0 (" +
+                std::to_string(bytes.size()) + " bytes, header needs " +
+                std::to_string(kHeaderBytes) + ")");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    throw Error("checkpoint '" + path +
+                "': bad magic at offset 0: expected \"MSCP\"");
+  c.pos = sizeof(kMagic);
+  const std::uint32_t version = c.get_u32("header.version");
+  if (version != kVersion)
+    throw Error("checkpoint '" + path + "': unsupported header.version " +
+                std::to_string(version) + " at offset 4 (expected " +
+                std::to_string(kVersion) + ")");
+  out.config_hash = c.get_u64("header.config_hash");
+  c.get_u64("header.reserved");
+
+  MetricRemap remap;
+  std::vector<WaveformKey> pending_keys;
+
+  while (c.pos < c.size) {
+    const std::size_t rec_off = c.pos;
+    try {
+      const std::uint32_t type = c.get_u32("record.type");
+      const std::uint32_t len = c.get_u32("record.payload_len");
+      const std::uint32_t stored_crc = c.get_u32("record.crc32");
+      c.need(len, "record.payload");
+      const std::uint32_t computed = crc32(c.data + c.pos, len);
+      if (computed != stored_crc) {
+        char want[16], got[16];
+        std::snprintf(want, sizeof want, "0x%08x", stored_crc);
+        std::snprintf(got, sizeof got, "0x%08x", computed);
+        throw TornTail{"checkpoint '" + path + "': record.crc32 mismatch at "
+                       "offset " + std::to_string(rec_off) + " (stored " +
+                       want + ", computed " + got + ")"};
+      }
+      // The payload's CRC verified: decode defects from here on mean
+      // the format is wrong, not that the tail was torn.
+      Cursor pc{c.data, c.pos + len, c.pos, path};
+      pc.in_payload = true;
+      c.pos += len;
+      switch (type) {
+        case kRecMetricTable:
+          decode_metric_table(pc, remap);
+          break;
+        case kRecGridBegin: {
+          RecoveredGrid g;
+          g.grid_id = pc.get_u32("GridBegin.grid_id");
+          g.epoch_seq = pc.get_u32("GridBegin.epoch_seq");
+          g.points = pc.get_u64("GridBegin.points");
+          g.trials = pc.get_u64("GridBegin.trials");
+          g.master_seed = pc.get_u64("GridBegin.master_seed");
+          g.cell_payload_bytes = pc.get_u32("GridBegin.cell_payload_bytes");
+          if (g.grid_id != out.grids.size())
+            throw Error("checkpoint '" + path + "': GridBegin.grid_id " +
+                        std::to_string(g.grid_id) + " at offset " +
+                        std::to_string(rec_off) + " is out of sequence "
+                        "(expected " + std::to_string(out.grids.size()) + ")");
+          out.grids.push_back(std::move(g));
+          break;
+        }
+        case kRecCacheKey: {
+          WaveformKey key;
+          key.kind = static_cast<WaveformKind>(pc.get_u8("CacheKey.kind"));
+          key.protocol = pc.get_u8("CacheKey.protocol");
+          key.params = pc.get_u64("CacheKey.params");
+          const std::uint32_t n = pc.get_u32("CacheKey.payload_len");
+          key.payload = pc.get_bytes(n, "CacheKey.payload");
+          pending_keys.push_back(std::move(key));
+          break;
+        }
+        case kRecCell: {
+          const std::uint32_t gid = pc.get_u32("Cell.grid_id");
+          if (gid >= out.grids.size())
+            throw Error("checkpoint '" + path + "': Cell.grid_id " +
+                        std::to_string(gid) + " at offset " +
+                        std::to_string(rec_off) +
+                        " references a grid with no GridBegin record");
+          RecoveredGrid& g = out.grids[gid];
+          RecoveredCell cell;
+          cell.point = pc.get_u32("Cell.point");
+          cell.trial = pc.get_u32("Cell.trial");
+          if (cell.point >= g.points || cell.trial >= g.trials)
+            throw Error("checkpoint '" + path + "': Cell (point " +
+                        std::to_string(cell.point) + ", trial " +
+                        std::to_string(cell.trial) + ") at offset " +
+                        std::to_string(rec_off) +
+                        " is outside grid " + std::to_string(gid) + " (" +
+                        std::to_string(g.points) + " x " +
+                        std::to_string(g.trials) + ")");
+          cell.poison = (pc.get_u8("Cell.flags") & kCellFlagPoison) != 0;
+          cell.result = pc.get_bytes(g.cell_payload_bytes, "Cell.result");
+          decode_shard(pc, remap, cell.shard);
+          cell.cache_keys = std::move(pending_keys);
+          pending_keys.clear();
+          g.cells.push_back(std::move(cell));
+          break;
+        }
+        default:
+          throw TornTail{"checkpoint '" + path + "': unknown record.type " +
+                         std::to_string(type) + " at offset " +
+                         std::to_string(rec_off)};
+      }
+    } catch (const TornTail& tear) {
+      if (policy == LoadPolicy::Strict) throw Error(tear.what);
+      out.warnings.push_back(tear.what + " — resuming from the last valid "
+                             "record (" +
+                             std::to_string(c.size - rec_off) +
+                             " trailing bytes dropped)");
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ms::ckpt

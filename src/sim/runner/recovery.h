@@ -1,0 +1,89 @@
+// Checkpoint journal recovery (the read half of sim/runner/checkpoint.h).
+//
+// load_journal() parses an on-disk sweep journal back into memory so a
+// resumed run can skip the cells a crashed (or drained) run already
+// completed.  Parsing is hardened the same way trace_io is: every
+// structural check that fails produces an ms::Error naming the field,
+// the absolute byte offset, what was expected, and the path — never a
+// bare "bad file".  Two policies:
+//
+//   - TolerateTruncatedTail (the --resume default): a journal that ends
+//     mid-record — the normal result of a SIGKILL between buffer append
+//     and publication — is accepted up to the last record whose CRC32
+//     verifies, and a warning describing what was dropped is recorded in
+//     RecoveredJournal::warnings.  Header corruption is still fatal: a
+//     file that misidentifies itself is rejected, not repaired.
+//   - Strict: any defect throws.  The corruption-matrix unit test runs
+//     every defect class through both policies.
+//
+// Metric ids are remapped on load: the journal carries a snapshot of the
+// writing process's metric registry (ids are dense registration-order
+// integers, so two processes that reach different instrumentation sites
+// first disagree on them), and every decoded shard is re-keyed to THIS
+// process's registry by metric name.  Decoded trace-event strings are
+// interned in a process-lifetime pool, matching the TraceEvent contract
+// that name/key/str pointers outlive the process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "sim/runner/waveform_cache.h"
+
+namespace ms::ckpt {
+
+enum class LoadPolicy {
+  TolerateTruncatedTail,  ///< stop at the last valid record, warn
+  Strict,                 ///< any defect throws ms::Error
+};
+
+/// One journaled (point, trial) cell: its result payload, its telemetry
+/// shard delta (already re-keyed to this process's metric ids), and the
+/// waveform-cache keys whose epoch miss was attributed to it.
+struct RecoveredCell {
+  std::uint32_t point = 0;
+  std::uint32_t trial = 0;
+  bool poison = false;  ///< watchdog-quarantined; result is default R{}
+  std::vector<std::uint8_t> result;  ///< cell_payload_bytes of raw R
+  obs::TelemetryShard shard;
+  std::vector<WaveformKey> cache_keys;
+};
+
+/// One journaled run_grid call, in program order.
+struct RecoveredGrid {
+  std::uint32_t grid_id = 0;
+  std::uint32_t epoch_seq = 0;  ///< runner-epoch counter at grid begin
+  std::uint64_t points = 0;
+  std::uint64_t trials = 0;
+  std::uint64_t master_seed = 0;
+  std::uint32_t cell_payload_bytes = 0;
+  std::vector<RecoveredCell> cells;
+};
+
+struct RecoveredJournal {
+  std::uint64_t config_hash = 0;  ///< must match the resuming invocation
+  std::vector<RecoveredGrid> grids;
+  std::vector<std::string> warnings;  ///< tolerated-tail notes
+
+  /// Total journaled cells across all grids.
+  std::size_t cell_count() const {
+    std::size_t n = 0;
+    for (const RecoveredGrid& g : grids) n += g.cells.size();
+    return n;
+  }
+};
+
+/// Parse `path`.  Throws ms::Error (field/offset/path named) on any
+/// defect under Strict, and on header/structural defects under
+/// TolerateTruncatedTail; a torn tail under the tolerant policy is
+/// dropped with a warning instead.
+RecoveredJournal load_journal(const std::string& path, LoadPolicy policy);
+
+/// Intern a string in the process-lifetime pool used for decoded trace
+/// events (stable pointer, never freed).  Exposed for the loader and
+/// for tests.
+const char* intern_string(const std::string& s);
+
+}  // namespace ms::ckpt

@@ -1,0 +1,143 @@
+#include "sim/runner/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/error.h"
+#include "sim/runner/thread_pool.h"
+
+namespace ms::runner {
+
+/// Per-worker deadline slot.  The owning worker writes start/point/trial
+/// at cell entry; the monitor thread reads them and writes cancel; the
+/// worker polls cancel.  All cross-thread traffic is atomic.
+struct Slot {
+  std::atomic<std::uint64_t> start_ns{0};  ///< 0 = no cell executing
+  std::atomic<bool> cancel{false};
+  std::atomic<std::uint32_t> point{0};
+  std::atomic<std::uint32_t> trial{0};
+};
+
+namespace {
+
+thread_local Slot* tls_slot = nullptr;
+thread_local double tls_deadline_s = 0.0;
+
+double g_default_deadline_s = 0.0;  // 0 = watchdog disabled
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string cancelled_what(std::uint32_t point, std::uint32_t trial,
+                           double deadline_s, double elapsed_s) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "trial watchdog: cell (point %u, trial %u) overran its "
+                "%.3f s deadline (%.3f s elapsed); quarantining",
+                point, trial, deadline_s, elapsed_s);
+  return buf;
+}
+
+}  // namespace
+
+CellCancelled::CellCancelled(std::uint32_t point, std::uint32_t trial,
+                             double deadline_s, double elapsed_s)
+    : std::runtime_error(cancelled_what(point, trial, deadline_s, elapsed_s)),
+      point(point),
+      trial(trial),
+      deadline_s(deadline_s),
+      elapsed_s(elapsed_s) {}
+
+Watchdog::Watchdog(double deadline_s, std::size_t n_workers)
+    : deadline_s_(deadline_s) {
+  if (deadline_s_ <= 0.0) return;
+  n_slots_ = n_workers + 1;  // +1 slot for calls outside any pool worker
+  slots_ = std::make_unique<Slot[]>(n_slots_);
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Watchdog::~Watchdog() {
+  if (!monitor_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  monitor_.join();
+}
+
+void Watchdog::monitor_loop() {
+  const auto deadline_ns =
+      static_cast<std::uint64_t>(deadline_s_ * 1e9);
+  // Poll a few times per deadline so detection latency stays a fraction
+  // of the deadline itself, but never spin faster than 1 ms.
+  const std::uint64_t poll_ns = std::max<std::uint64_t>(
+      1'000'000, std::min<std::uint64_t>(deadline_ns / 4, 10'000'000));
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(poll_ns));
+    const std::uint64_t now = now_ns();
+    for (std::size_t i = 0; i < n_slots_; ++i) {
+      const std::uint64_t start =
+          slots_[i].start_ns.load(std::memory_order_acquire);
+      if (start != 0 && now > start && now - start > deadline_ns)
+        slots_[i].cancel.store(true, std::memory_order_release);
+    }
+  }
+}
+
+Watchdog::CellScope::CellScope(Watchdog& wd, std::uint32_t point,
+                               std::uint32_t trial) {
+  if (!wd.active()) return;
+  std::size_t w = ThreadPool::current_worker();
+  if (w == ThreadPool::kNotAWorker) w = wd.n_slots_ - 1;
+  MS_CHECK(w < wd.n_slots_);
+  slot_ = &wd.slots_[w];
+  slot_->point.store(point, std::memory_order_relaxed);
+  slot_->trial.store(trial, std::memory_order_relaxed);
+  slot_->cancel.store(false, std::memory_order_relaxed);
+  slot_->start_ns.store(now_ns(), std::memory_order_release);
+  tls_slot = slot_;
+  tls_deadline_s = wd.deadline_s_;
+}
+
+Watchdog::CellScope::~CellScope() {
+  if (!slot_) return;
+  slot_->start_ns.store(0, std::memory_order_release);
+  tls_slot = nullptr;
+  tls_deadline_s = 0.0;
+}
+
+void watchdog_poll() {
+  Slot* s = tls_slot;
+  if (!s || !s->cancel.load(std::memory_order_relaxed)) return;
+  const double elapsed =
+      (now_ns() - s->start_ns.load(std::memory_order_relaxed)) * 1e-9;
+  throw CellCancelled(s->point.load(std::memory_order_relaxed),
+                      s->trial.load(std::memory_order_relaxed),
+                      tls_deadline_s, elapsed);
+}
+
+void hang_until_cancelled() {
+  MS_CHECK_MSG(tls_slot != nullptr,
+               "hang_until_cancelled() requires an active trial watchdog "
+               "(run with --trial-deadline-ms > 0)");
+  for (;;) {
+    watchdog_poll();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void set_default_trial_deadline(double seconds) {
+  g_default_deadline_s = seconds;
+}
+
+double default_trial_deadline() { return g_default_deadline_s; }
+
+obs::MetricId poison_metric() {
+  static const obs::MetricId id = obs::counter("runner.poison_cells");
+  return id;
+}
+
+}  // namespace ms::runner

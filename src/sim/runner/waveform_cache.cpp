@@ -1,6 +1,7 @@
 #include "sim/runner/waveform_cache.h"
 
 #include "obs/metrics.h"
+#include "sim/runner/checkpoint.h"
 
 namespace ms {
 
@@ -68,6 +69,9 @@ std::shared_ptr<const Iq> WaveformCache::get_or_synthesize(
       ++stats_.hits;
   }
   obs::add(miss ? m.miss : m.hit);
+  // Attribute the epoch miss to the cell being executed so a resume can
+  // pre-mark the key as accounted (no-op when checkpointing is off).
+  if (miss) ckpt::note_cache_miss(key);
 
   if (!reuse) {
     // Oracle mode: synthesize fresh every call; accounting unchanged.
@@ -97,6 +101,13 @@ std::shared_ptr<const Iq> WaveformCache::get_or_synthesize(
 void WaveformCache::begin_epoch() {
   std::lock_guard<std::mutex> lock(mu_);
   ++epoch_;
+}
+
+void WaveformCache::mark_miss_accounted(const WaveformKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.try_emplace(key);
+  if (inserted) it->second = std::make_unique<Entry>();
+  it->second->last_epoch = epoch_;
 }
 
 void WaveformCache::set_reuse_enabled(bool enabled) {

@@ -92,6 +92,15 @@ class WaveformCache {
   /// bookkeeping resets.
   void begin_epoch();
 
+  /// Checkpoint-resume support: pre-mark `key` as having had its miss
+  /// accounted in the current epoch.  A resumed sweep replays journaled
+  /// cells' shards verbatim — including the one miss each distinct key
+  /// contributed — so redone cells that look the key up again must see
+  /// a hit, or the merged metrics would double-count the miss.  The
+  /// entry's waveform stays unsynthesized; the first real lookup fills
+  /// it in without touching the counters.
+  void mark_miss_accounted(const WaveformKey& key);
+
   /// --waveform-cache on|off.  Off = always synthesize fresh (bitwise
   /// oracle for the cached path); accounting still runs.
   void set_reuse_enabled(bool enabled);

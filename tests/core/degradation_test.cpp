@@ -99,6 +99,76 @@ TEST(EnergyGovernor, RecoversAtTheResumeThreshold) {
             e.resume_fraction * energy_per_cycle_j(e.harvester) - 1e-9);
 }
 
+TEST(EnergyGovernor, ResumeThresholdEqualToBrownoutThreshold) {
+  // resume_fraction == 0 puts the resume threshold exactly at the
+  // brownout floor: the tag must come back on the very first idle slot
+  // instead of hanging dark forever waiting to cross a level it is
+  // already at.
+  EnergyPolicyConfig e = bright_policy();
+  e.governor = false;
+  e.initial_fraction = 0.001;
+  e.resume_fraction = 0.0;
+  EnergyGovernor g(e);
+  ASSERT_TRUE(g.active_step());  // collapse
+  ASSERT_TRUE(g.browned_out());
+  EXPECT_TRUE(g.idle_step());  // recovery reported immediately...
+  EXPECT_FALSE(g.browned_out());
+  EXPECT_FALSE(g.idle_step());  // ...and exactly once
+}
+
+TEST(EnergyGovernor, ZeroCapacityCapacitorIsRejected) {
+  // A 0 F capacitor (or a collapsed voltage window) makes the usable
+  // energy per cycle zero; the governor would divide the world by it.
+  EnergyPolicyConfig e = bright_policy();
+  e.harvester.capacitance_f = 0.0;
+  try {
+    EnergyGovernor g(e);
+    FAIL() << "zero-capacity capacitor must be rejected";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("non-positive"),
+              std::string::npos)
+        << err.what();
+    EXPECT_NE(std::string(err.what()).find("harvester"), std::string::npos)
+        << err.what();
+  }
+  e = bright_policy();
+  e.harvester.v_stop = e.harvester.v_start;  // empty discharge window
+  EXPECT_THROW(EnergyGovernor{e}, Error);
+}
+
+TEST(RetryBudget, ExhaustionDuringBrownoutRefillsWhileDark) {
+  // A brownout arrives with the retry bucket already empty.  Retries
+  // shed (never go negative), and the idle stretch while the capacitor
+  // refills also refills the bucket, so the first post-recovery fault
+  // is retried instead of shed again.
+  EnergyPolicyConfig e = bright_policy();
+  e.governor = false;
+  e.initial_fraction = 0.001;
+  EnergyGovernor g(e);
+  RetryBudgetConfig rcfg;
+  rcfg.enabled = true;
+  rcfg.burst_tokens = 2.0;
+  rcfg.tokens_per_slot = 0.25;
+  RetryBudget b(rcfg);
+  EXPECT_TRUE(b.take());
+  EXPECT_TRUE(b.take());  // bucket drained
+  ASSERT_TRUE(g.active_step());  // collapse with no tokens left
+  ASSERT_TRUE(g.browned_out());
+  EXPECT_FALSE(b.take());  // exhausted: shed, not negative
+  EXPECT_EQ(b.shed(), 1u);
+  int slots = 0;
+  while (g.browned_out()) {
+    ASSERT_LT(slots, 100) << "never recovered";
+    b.step();  // the slot clock keeps ticking while dark
+    if (g.idle_step()) break;
+    ++slots;
+  }
+  EXPECT_FALSE(g.browned_out());
+  EXPECT_GE(b.tokens(), 1.0) << "dark slots must refill the bucket";
+  EXPECT_TRUE(b.take());
+  EXPECT_EQ(b.shed(), 1u);
+}
+
 TEST(RetryBudget, TokenBucketShedsWhenEmpty) {
   RetryBudgetConfig cfg;
   cfg.enabled = true;

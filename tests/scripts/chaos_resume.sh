@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Kill-and-resume chaos gate for the sweep checkpoint/resume path.
+#
+# For each (bench, thread-count) case the script runs an uninterrupted
+# reference sweep, then repeatedly SIGKILLs the same sweep mid-flight at
+# seeded-random cell counts (MS_CRASH_AFTER_CELLS, see
+# src/sim/faults/crash_point.h), resuming each subsequent attempt from
+# the journal the previous one left behind.  A final clean --resume run
+# must produce figure CSVs and --metrics-out JSON byte-identical to the
+# reference — the proof that the journal replays exactly the cells that
+# completed, re-merges telemetry shards in canonical order, and charges
+# waveform-cache misses exactly once.
+#
+# A SIGTERM leg additionally checks graceful drain: the bench is sent
+# SIGTERM mid-sweep, must exit 143 after publishing its journal, and the
+# resumed run must again match the reference byte for byte.
+#
+# CHAOS_QUICK=1 shrinks the matrix (fig7 only, --threads 2, two crashes,
+# no drain leg) so the gate stays affordable under sanitizers.
+#
+# usage: chaos_resume.sh <bench_fig7_ordered> <bench_fig13_los> <workdir>
+set -euo pipefail
+
+fig7="$1"
+fig13="$2"
+workdir="$3"
+quick="${CHAOS_QUICK:-0}"
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+
+RANDOM=1337  # seeded: the crash schedule is random but reproducible
+
+# run <bench> <dir> <threads> [extra args...] — one sweep invocation.
+run() {
+  local bench="$1" dir="$2" threads="$3"
+  shift 3
+  "$bench" --trials 2 --seed 7 --threads "$threads" --out "$dir" \
+    --metrics-out "$dir/metrics.json" "$@" \
+    >>"$dir/stdout.txt" 2>>"$dir/stderr.txt"
+}
+
+# compare <name> <ref_dir> <res_dir> — byte-diff every CSV + metrics.
+compare() {
+  local name="$1" ref="$2" res="$3"
+  local csvs
+  csvs=$(cd "$ref" && ls ./*.csv)
+  [ -n "$csvs" ] || { echo "FAIL: no CSVs from $name reference" >&2; exit 1; }
+  for f in $csvs metrics.json; do
+    if ! cmp -s "$ref/$f" "$res/$f"; then
+      echo "FAIL: $name $f differs between reference and resumed run" >&2
+      diff "$ref/$f" "$res/$f" >&2 || true
+      exit 1
+    fi
+  done
+}
+
+# chaos_case <bench> <name> <threads> <n_crashes> — crash/resume chain.
+chaos_case() {
+  local bench="$1" name="$2" threads="$3" crashes="$4"
+  local dir="$workdir/$name"
+  local ref="$dir/ref" res="$dir/resumed" ckpt="$dir/run.ckpt"
+  mkdir -p "$ref" "$res"
+
+  run "$bench" "$ref" "$threads"
+
+  local resume=()
+  local k
+  for ((k = 0; k < crashes; ++k)); do
+    local cells=$((2 + RANDOM % 40))
+    local status=0
+    MS_CRASH_AFTER_CELLS=$cells \
+      run "$bench" "$res" "$threads" --checkpoint-out "$ckpt" \
+        --checkpoint-interval 1 ${resume[@]+"${resume[@]}"} || status=$?
+    if [ "$status" -eq 0 ]; then
+      # The randomized kill point landed past the end of the sweep.
+      echo "note: $name crash $k (after $cells cells) outran the sweep" >&2
+      break
+    fi
+    if [ "$status" -ne 137 ]; then
+      echo "FAIL: $name crash $k exited $status, expected 137 (SIGKILL)" >&2
+      cat "$res/stderr.txt" >&2
+      exit 1
+    fi
+    [ -f "$ckpt" ] || { echo "FAIL: $name crash $k left no journal" >&2; exit 1; }
+    resume=(--resume "$ckpt")
+  done
+
+  rm -f "$res"/*.csv "$res/metrics.json"
+  run "$bench" "$res" "$threads" ${resume[@]+"${resume[@]}"}
+  if [ "${#resume[@]}" -gt 0 ] &&
+     ! grep -q "resume: replaying" "$res/stderr.txt"; then
+    echo "FAIL: $name final run never reported replaying the journal" >&2
+    exit 1
+  fi
+  compare "$name" "$ref" "$res"
+  echo "$name: resumed output byte-identical after $crashes SIGKILLs"
+}
+
+# drain_case <bench> <name> <threads> <kill_after_s> — SIGTERM drain.
+drain_case() {
+  local bench="$1" name="$2" threads="$3" kill_after="$4"
+  local dir="$workdir/$name"
+  local ref="$dir/ref" res="$dir/resumed" ckpt="$dir/run.ckpt"
+  mkdir -p "$ref" "$res"
+
+  run "$bench" "$ref" "$threads"
+
+  local status=0
+  # Launch the bench directly (not via run, which would background a
+  # subshell and swallow the SIGTERM meant for the bench).
+  "$bench" --trials 2 --seed 7 --threads "$threads" --out "$res" \
+    --metrics-out "$res/metrics.json" --checkpoint-out "$ckpt" \
+    >>"$res/stdout.txt" 2>>"$res/stderr.txt" &
+  local pid=$!
+  sleep "$kill_after"
+  kill -TERM "$pid" 2>/dev/null || true
+  wait "$pid" || status=$?
+  if [ "$status" -ne 143 ] && [ "$status" -ne 0 ]; then
+    echo "FAIL: $name drained run exited $status, expected 143 or 0" >&2
+    exit 1
+  fi
+  if [ "$status" -eq 143 ]; then
+    grep -q "drained on signal" "$res/stderr.txt" || {
+      echo "FAIL: $name drain exit without the drain message" >&2
+      exit 1
+    }
+    [ -f "$ckpt" ] || { echo "FAIL: $name drain left no journal" >&2; exit 1; }
+    rm -f "$res"/*.csv "$res/metrics.json"
+    run "$bench" "$res" "$threads" --resume "$ckpt"
+  else
+    echo "note: $name finished before the SIGTERM landed" >&2
+  fi
+  compare "$name" "$ref" "$res"
+  echo "$name: SIGTERM drain + resume byte-identical"
+}
+
+if [ "$quick" = 1 ]; then
+  chaos_case "$fig7" fig7_t2_quick 2 2
+else
+  chaos_case "$fig7" fig7_t1 1 3
+  chaos_case "$fig7" fig7_t8 8 3
+  chaos_case "$fig13" fig13_t1 1 3
+  chaos_case "$fig13" fig13_t8 8 3
+  drain_case "$fig7" fig7_drain 2 0.5
+fi
+
+echo "chaos resume: all resumed outputs byte-identical to uninterrupted runs"

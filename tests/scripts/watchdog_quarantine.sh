@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Watchdog quarantine gate: a deliberately hung trial (MS_HANG_AT_CELL,
+# see src/sim/faults/crash_point.h) must be cancelled by the per-trial
+# watchdog, reported as a poison cell in --metrics-out, and the sweep
+# must still complete and write its figure CSVs — the pool never wedges.
+#
+# usage: watchdog_quarantine.sh <bench_fig7_ordered> <workdir>
+set -euo pipefail
+
+bench="$1"
+workdir="$2"
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+
+MS_HANG_AT_CELL=2,1 "$bench" --trials 2 --threads 2 --seed 7 \
+  --trial-deadline-ms 250 --out "$workdir" \
+  --metrics-out "$workdir/metrics.json" \
+  >"$workdir/stdout.txt" 2>"$workdir/stderr.txt"
+
+grep -q '"runner.poison_cells": 1' "$workdir/metrics.json" || {
+  echo "FAIL: metrics JSON does not report exactly one poison cell" >&2
+  cat "$workdir/metrics.json" >&2
+  exit 1
+}
+grep -q "trial watchdog: cell (point 2, trial 1)" "$workdir/stderr.txt" || {
+  echo "FAIL: stderr lacks the watchdog quarantine warning" >&2
+  cat "$workdir/stderr.txt" >&2
+  exit 1
+}
+ls "$workdir"/*.csv >/dev/null 2>&1 || {
+  echo "FAIL: sweep with a hung cell produced no CSVs" >&2
+  exit 1
+}
+
+echo "watchdog quarantine: hung cell poisoned, sweep completed"

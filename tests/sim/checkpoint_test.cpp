@@ -1,0 +1,327 @@
+// Checkpoint journal round-trip and corruption matrix.
+//
+// The round-trip half drives the writer (CheckpointSession +
+// GridCheckpoint) and reads the file back with load_journal, checking
+// every record type survives: grid shapes, cell payloads, poison flags,
+// telemetry shard deltas (counter/gauge/histogram/events), and
+// cache-key attributions.  The corruption half mutates a valid journal
+// one defect class at a time and runs each through BOTH load policies:
+// header damage is fatal everywhere, torn tails are fatal under Strict
+// and recovered-with-warning under TolerateTruncatedTail, and every
+// error message names the field, the offset, and the path (the
+// trace_io hardening contract).
+#include "sim/runner/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "sim/runner/recovery.h"
+
+namespace ms {
+namespace {
+
+constexpr double kHistBounds[] = {1.0, 10.0};
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Arm/disarm guard: the session is a process singleton, so every test
+/// must leave it unarmed no matter how it exits.
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (ckpt::CheckpointSession::instance().armed())
+      ckpt::CheckpointSession::instance().disarm();
+  }
+
+  /// Write a small two-grid journal and return its path.  Grid 0 is
+  /// 2x2 doubles with telemetry; grid 1 is 1x1 with a poison cell and a
+  /// cache-key attribution.
+  std::string write_journal(const char* name) {
+    const std::string path = temp_path(name);
+    ckpt::CheckpointConfig cfg;
+    cfg.path = path;
+    cfg.config_hash = 0xfeedfaceull;
+    cfg.flush_interval = 1;
+    auto& session = ckpt::CheckpointSession::instance();
+    session.arm(cfg, std::nullopt);
+
+    auto grid = ckpt::GridCheckpoint::begin(2, 2, 99, sizeof(double));
+    EXPECT_TRUE(grid.active());
+    for (std::size_t i = 0; i < 4; ++i) {
+      obs::TelemetryShard shard;
+      shard.add(obs::counter("ckpt_test.counter"), i + 1);
+      shard.set(obs::gauge("ckpt_test.gauge"), 0.5 * static_cast<double>(i));
+      shard.observe(obs::histogram("ckpt_test.hist", kHistBounds),
+                    static_cast<double>(i));
+      obs::TraceEvent ev;
+      ev.point = static_cast<std::uint32_t>(i / 2);
+      ev.trial = static_cast<std::uint32_t>(i % 2);
+      ev.subsys = obs::Subsystem::Runner;
+      ev.severity = obs::Severity::Info;
+      ev.name = "ckpt_test.event";
+      ev.fields[0] = {"value", static_cast<double>(i), nullptr};
+      ev.fields[1] = {"tag", 0.0, "cell"};
+      ev.n_fields = 2;
+      shard.record_event(ev);
+      const double payload = 1.5 + static_cast<double>(i);
+      ckpt::note_cell_start();
+      grid.record(i, &payload, shard, /*poison=*/false);
+    }
+
+    auto grid2 = ckpt::GridCheckpoint::begin(1, 1, 7, sizeof(double));
+    {
+      obs::TelemetryShard shard;
+      WaveformKey key;
+      key.protocol = 2;
+      key.params = 0xabcd;
+      key.payload = {1, 2, 3};
+      ckpt::note_cell_start();
+      ckpt::note_cache_miss(key);
+      const double payload = -4.25;
+      grid2.record(0, &payload, shard, /*poison=*/true);
+    }
+    session.disarm();
+    return path;
+  }
+};
+
+TEST_F(CheckpointTest, RoundTripPreservesEverything) {
+  const std::string path = write_journal("roundtrip.ckpt");
+  const ckpt::RecoveredJournal j =
+      ckpt::load_journal(path, ckpt::LoadPolicy::Strict);
+  EXPECT_EQ(j.config_hash, 0xfeedfaceull);
+  EXPECT_TRUE(j.warnings.empty());
+  ASSERT_EQ(j.grids.size(), 2u);
+  EXPECT_EQ(j.cell_count(), 5u);
+
+  const ckpt::RecoveredGrid& g0 = j.grids[0];
+  EXPECT_EQ(g0.points, 2u);
+  EXPECT_EQ(g0.trials, 2u);
+  EXPECT_EQ(g0.master_seed, 99u);
+  EXPECT_EQ(g0.cell_payload_bytes, sizeof(double));
+  ASSERT_EQ(g0.cells.size(), 4u);
+  for (const ckpt::RecoveredCell& c : g0.cells) {
+    const std::size_t i = c.point * 2 + c.trial;
+    double payload = 0.0;
+    ASSERT_EQ(c.result.size(), sizeof(double));
+    std::memcpy(&payload, c.result.data(), sizeof(double));
+    EXPECT_EQ(payload, 1.5 + static_cast<double>(i));
+    EXPECT_FALSE(c.poison);
+    EXPECT_TRUE(c.cache_keys.empty());
+    EXPECT_EQ(c.shard.counter_value(obs::counter("ckpt_test.counter")),
+              i + 1);
+    EXPECT_EQ(c.shard.gauge_value(obs::gauge("ckpt_test.gauge")),
+              0.5 * static_cast<double>(i));
+    const auto h = c.shard.histogram_value(
+        obs::histogram("ckpt_test.hist", kHistBounds));
+    EXPECT_EQ(h.n, 1u);
+    EXPECT_EQ(h.sum, static_cast<double>(i));
+    ASSERT_EQ(c.shard.events().size(), 1u);
+    const obs::TraceEvent& ev = c.shard.events()[0];
+    EXPECT_STREQ(ev.name, "ckpt_test.event");
+    ASSERT_EQ(ev.n_fields, 2u);
+    EXPECT_STREQ(ev.fields[0].key, "value");
+    EXPECT_EQ(ev.fields[0].num, static_cast<double>(i));
+    EXPECT_STREQ(ev.fields[1].key, "tag");
+    EXPECT_STREQ(ev.fields[1].str, "cell");
+    EXPECT_EQ(c.shard.events_dropped(), 0u);
+  }
+
+  const ckpt::RecoveredGrid& g1 = j.grids[1];
+  EXPECT_EQ(g1.points, 1u);
+  EXPECT_EQ(g1.master_seed, 7u);
+  ASSERT_EQ(g1.cells.size(), 1u);
+  EXPECT_TRUE(g1.cells[0].poison);
+  ASSERT_EQ(g1.cells[0].cache_keys.size(), 1u);
+  const WaveformKey& key = g1.cells[0].cache_keys[0];
+  EXPECT_EQ(key.protocol, 2u);
+  EXPECT_EQ(key.params, 0xabcdu);
+  EXPECT_EQ(key.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST_F(CheckpointTest, CrcMatchesKnownVector) {
+  // IEEE 802.3 check value: crc32("123456789") == 0xcbf43926.
+  EXPECT_EQ(ckpt::crc32("123456789", 9), 0xcbf43926u);
+}
+
+TEST_F(CheckpointTest, ConfigHashSeparatesEveryField) {
+  const std::uint64_t base = ckpt::config_hash("bench", 1, 2, 3);
+  EXPECT_NE(base, ckpt::config_hash("other", 1, 2, 3));
+  EXPECT_NE(base, ckpt::config_hash("bench", 9, 2, 3));
+  EXPECT_NE(base, ckpt::config_hash("bench", 1, 9, 3));
+  EXPECT_NE(base, ckpt::config_hash("bench", 1, 2, 9));
+}
+
+// --- corruption matrix ------------------------------------------------
+
+TEST_F(CheckpointTest, BadMagicIsFatalUnderBothPolicies) {
+  const std::string path = write_journal("badmagic.ckpt");
+  std::string bytes = read_file(path);
+  bytes[0] = 'X';
+  write_file(path, bytes);
+  for (const auto policy : {ckpt::LoadPolicy::TolerateTruncatedTail,
+                            ckpt::LoadPolicy::Strict}) {
+    try {
+      ckpt::load_journal(path, policy);
+      FAIL() << "bad magic must throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    }
+  }
+}
+
+TEST_F(CheckpointTest, BadVersionIsFatalUnderBothPolicies) {
+  const std::string path = write_journal("badver.ckpt");
+  std::string bytes = read_file(path);
+  bytes[4] = 9;
+  write_file(path, bytes);
+  for (const auto policy : {ckpt::LoadPolicy::TolerateTruncatedTail,
+                            ckpt::LoadPolicy::Strict}) {
+    try {
+      ckpt::load_journal(path, policy);
+      FAIL() << "bad version must throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("header.version"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST_F(CheckpointTest, TruncatedHeaderIsFatalUnderBothPolicies) {
+  const std::string path = write_journal("shorthdr.ckpt");
+  write_file(path, read_file(path).substr(0, 10));
+  for (const auto policy : {ckpt::LoadPolicy::TolerateTruncatedTail,
+                            ckpt::LoadPolicy::Strict}) {
+    try {
+      ckpt::load_journal(path, policy);
+      FAIL() << "truncated header must throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated header"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST_F(CheckpointTest, TornTailIsRecoveredTolerantlyAndFatalStrictly) {
+  const std::string path = write_journal("torn.ckpt");
+  const std::string bytes = read_file(path);
+  // Cut mid-way through the final record's payload (the classic
+  // SIGKILL-between-write-and-rename shape).
+  write_file(path, bytes.substr(0, bytes.size() - 7));
+
+  const ckpt::RecoveredJournal j =
+      ckpt::load_journal(path, ckpt::LoadPolicy::TolerateTruncatedTail);
+  ASSERT_EQ(j.warnings.size(), 1u);
+  EXPECT_NE(j.warnings[0].find("truncated"), std::string::npos)
+      << j.warnings[0];
+  EXPECT_NE(j.warnings[0].find("offset"), std::string::npos);
+  // Everything before the torn record survived.
+  EXPECT_EQ(j.cell_count(), 4u);
+
+  try {
+    ckpt::load_journal(path, ckpt::LoadPolicy::Strict);
+    FAIL() << "torn tail must throw under Strict";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CheckpointTest, CrcMismatchStopsTolerantAndThrowsStrict) {
+  const std::string path = write_journal("crcflip.ckpt");
+  std::string bytes = read_file(path);
+  // Flip one byte in the LAST record's payload so the prefix is intact.
+  bytes[bytes.size() - 3] ^= 0x40;
+  write_file(path, bytes);
+
+  const ckpt::RecoveredJournal j =
+      ckpt::load_journal(path, ckpt::LoadPolicy::TolerateTruncatedTail);
+  ASSERT_EQ(j.warnings.size(), 1u);
+  EXPECT_NE(j.warnings[0].find("crc32 mismatch"), std::string::npos)
+      << j.warnings[0];
+  EXPECT_EQ(j.cell_count(), 4u);
+
+  try {
+    ckpt::load_journal(path, ckpt::LoadPolicy::Strict);
+    FAIL() << "CRC mismatch must throw under Strict";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("crc32 mismatch"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointTest, UnknownRecordTypeStopsTolerantAndThrowsStrict) {
+  const std::string path = write_journal("unknown.ckpt");
+  std::string bytes = read_file(path);
+  // Append a CRC-valid record of an unknown type (a future version's
+  // record): tolerant readers keep the prefix, strict readers refuse.
+  const std::string payload = "??";
+  const std::uint32_t type = 99;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = ckpt::crc32(payload.data(), payload.size());
+  bytes.append(reinterpret_cast<const char*>(&type), 4);
+  bytes.append(reinterpret_cast<const char*>(&len), 4);
+  bytes.append(reinterpret_cast<const char*>(&crc), 4);
+  bytes.append(payload);
+  write_file(path, bytes);
+
+  const ckpt::RecoveredJournal j =
+      ckpt::load_journal(path, ckpt::LoadPolicy::TolerateTruncatedTail);
+  ASSERT_EQ(j.warnings.size(), 1u);
+  EXPECT_NE(j.warnings[0].find("unknown record.type 99"), std::string::npos)
+      << j.warnings[0];
+  EXPECT_EQ(j.cell_count(), 5u);  // full journal before the alien record
+
+  try {
+    ckpt::load_journal(path, ckpt::LoadPolicy::Strict);
+    FAIL() << "unknown type must throw under Strict";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown record.type"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CheckpointTest, MissingFileNamesThePath) {
+  try {
+    ckpt::load_journal(temp_path("nope.ckpt"), ckpt::LoadPolicy::Strict);
+    FAIL() << "missing file must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("nope.ckpt"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CheckpointTest, InternStringReturnsStablePointers) {
+  const char* a = ckpt::intern_string("ckpt_test.interned");
+  const char* b = ckpt::intern_string("ckpt_test.interned");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "ckpt_test.interned");
+}
+
+}  // namespace
+}  // namespace ms

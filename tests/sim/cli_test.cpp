@@ -166,6 +166,51 @@ TEST(Cli, RejectsMissingTelemetryValues) {
   EXPECT_TRUE(parse({"--trace-out"}, o).has_value());
 }
 
+TEST(Cli, ParsesCheckpointAndWatchdogFlags) {
+  CliOptions o;
+  EXPECT_FALSE(parse({"--checkpoint-out", "run.ckpt",
+                      "--checkpoint-interval", "8", "--resume", "old.ckpt",
+                      "--trial-deadline-ms", "250"},
+                     o)
+                   .has_value());
+  EXPECT_EQ(o.checkpoint_out, "run.ckpt");
+  EXPECT_EQ(o.checkpoint_interval, 8u);
+  EXPECT_EQ(o.resume, "old.ckpt");
+  EXPECT_EQ(o.trial_deadline_ms, 250u);
+}
+
+TEST(Cli, CheckpointFlagsDefaultOff) {
+  CliOptions o;
+  EXPECT_FALSE(parse({}, o).has_value());
+  EXPECT_TRUE(o.checkpoint_out.empty());
+  EXPECT_TRUE(o.resume.empty());
+  EXPECT_EQ(o.checkpoint_interval, 32u);
+  EXPECT_EQ(o.trial_deadline_ms, 0u);
+}
+
+TEST(Cli, RejectsBadCheckpointValues) {
+  CliOptions o;
+  EXPECT_TRUE(parse({"--checkpoint-out"}, o).has_value());
+  EXPECT_TRUE(parse({"--resume"}, o).has_value());
+  EXPECT_TRUE(parse({"--checkpoint-interval"}, o).has_value());
+  EXPECT_TRUE(parse({"--checkpoint-interval", "0"}, o).has_value());
+  EXPECT_TRUE(parse({"--checkpoint-interval", "soon"}, o).has_value());
+  EXPECT_TRUE(parse({"--trial-deadline-ms", "-5"}, o).has_value());
+  EXPECT_TRUE(parse({"--trial-deadline-ms", "fast"}, o).has_value());
+  const auto err = parse({"--checkpoint-interval", "0"}, o);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("--checkpoint-interval"), std::string::npos) << *err;
+  EXPECT_NE(err->find("'0'"), std::string::npos)
+      << "error message should quote the bad value: " << *err;
+}
+
+TEST(Cli, UsageNamesCheckpointFlags) {
+  const std::string usage = cli_usage("bench_x");
+  for (const char* flag : {"--checkpoint-out", "--checkpoint-interval",
+                           "--resume", "--trial-deadline-ms"})
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+}
+
 TEST(Cli, OrExitCreatesMissingOutDirectories) {
   // parse_cli_or_exit creates --out and the parents of the telemetry
   // output files instead of failing later at dump time.

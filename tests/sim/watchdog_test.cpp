@@ -1,0 +1,107 @@
+// Per-trial watchdog: a deliberately hung cell is cancelled,
+// quarantined as a poison cell, and the rest of the sweep completes
+// with correct results — the pool never wedges.
+#include "sim/runner/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+#include "obs/telemetry.h"
+#include "sim/runner/trial_runner.h"
+
+namespace ms {
+namespace {
+
+TEST(Watchdog, QuarantinesHungCellAndCompletesSweep) {
+  obs::reset_aggregate();
+  RunnerConfig cfg;
+  cfg.threads = 2;
+  cfg.master_seed = 5;
+  cfg.trial_deadline_s = 0.15;
+  TrialRunner runner(cfg);
+  const auto out =
+      runner.run_grid(3, 2, [](std::size_t p, std::size_t t, Rng& rng) {
+        if (p == 1 && t == 0) runner::hang_until_cancelled();
+        return 1.0 + rng.uniform();
+      });
+  ASSERT_EQ(out.size(), 6u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i == 1 * 2 + 0)
+      EXPECT_EQ(out[i], 0.0) << "poison cell must hold the default result";
+    else
+      EXPECT_GE(out[i], 1.0) << "healthy cell " << i;
+  }
+  EXPECT_EQ(obs::aggregate().counter_value(runner::poison_metric()), 1u);
+}
+
+TEST(Watchdog, HealthySweepUnderDeadlineRegistersNoPoison) {
+  obs::reset_aggregate();
+  RunnerConfig cfg;
+  cfg.threads = 2;
+  cfg.master_seed = 6;
+  cfg.trial_deadline_s = 30.0;
+  TrialRunner runner(cfg);
+  const auto out = runner.run_grid(
+      2, 2, [](std::size_t, std::size_t, Rng& rng) { return rng.uniform(); });
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(obs::aggregate().counter_value(runner::poison_metric()), 0u);
+}
+
+TEST(Watchdog, DeadlineMatchesUndeadlinedResultsBitExactly) {
+  // The watchdog must be pure overhead for healthy cells: same seeds,
+  // same results, whether or not a (generous) deadline is armed.
+  auto sweep = [](double deadline_s) {
+    RunnerConfig cfg;
+    cfg.threads = 2;
+    cfg.master_seed = 17;
+    cfg.trial_deadline_s = deadline_s;
+    TrialRunner runner(cfg);
+    return runner.run_grid(4, 3, [](std::size_t p, std::size_t t, Rng& rng) {
+      return rng.normal() + static_cast<double>(p * 31 + t);
+    });
+  };
+  EXPECT_EQ(sweep(0.0), sweep(30.0));
+}
+
+TEST(Watchdog, PollThrowsCellCancelledWithCellIdentity) {
+  runner::Watchdog wd(0.05, /*n_workers=*/1);
+  ASSERT_TRUE(wd.active());
+  runner::Watchdog::CellScope scope(wd, 3, 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    for (;;) {
+      runner::watchdog_poll();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ASSERT_LT(std::chrono::steady_clock::now() - t0,
+                std::chrono::seconds(10))
+          << "watchdog never fired";
+    }
+  } catch (const runner::CellCancelled& c) {
+    EXPECT_EQ(c.point, 3u);
+    EXPECT_EQ(c.trial, 1u);
+    EXPECT_EQ(c.deadline_s, 0.05);
+    EXPECT_GT(c.elapsed_s, 0.0);
+    EXPECT_NE(std::string(c.what()).find("point 3, trial 1"),
+              std::string::npos)
+        << c.what();
+  }
+}
+
+TEST(Watchdog, InactiveWatchdogPollsAreNoOps) {
+  runner::Watchdog wd(0.0, 2);
+  EXPECT_FALSE(wd.active());
+  runner::Watchdog::CellScope scope(wd, 0, 0);
+  EXPECT_NO_THROW(runner::watchdog_poll());
+}
+
+TEST(Watchdog, HangWithoutWatchdogThrowsInsteadOfWedging) {
+  // MS_HANG_AT_CELL without --trial-deadline-ms would otherwise hang
+  // forever; the helper refuses loudly.
+  EXPECT_THROW(runner::hang_until_cancelled(), Error);
+}
+
+}  // namespace
+}  // namespace ms
