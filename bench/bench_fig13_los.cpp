@@ -46,9 +46,14 @@ int main(int argc, char** argv) {
   }
   bench::rule();
   std::printf("  maximal LoS ranges:\n");
-  for (Protocol p : kAllProtocols)
+  for (Protocol p : kAllProtocols) {
+    const double range_m = max_range_m(p, cfg);
     std::printf("    %-10s %5.1f m\n", std::string(protocol_name(p)).c_str(),
-                max_range_m(p, cfg));
+                range_m);
+    bench::record_result(
+        ("fig13.max_range_m." + std::string(protocol_name(p))).c_str(),
+        range_m);
+  }
   bench::note("paper: WiFi 28 m, ZigBee 22 m, BLE 20 m; low BER out to 16 m");
   return finish_bench_output(opt) ? 0 : 1;
 }

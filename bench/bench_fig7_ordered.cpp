@@ -83,6 +83,14 @@ int main(int argc, char** argv) {
   std::printf("  ordered − blind = %+.3f (paper: +0.070)\n",
               ordered.average_accuracy() - blind.average_accuracy());
 
+  bench::record_result("fig7.blind_avg_accuracy", blind.average_accuracy());
+  bench::record_result("fig7.ordered_avg_accuracy",
+                       ordered.average_accuracy());
+  for (Protocol p : kAllProtocols)
+    bench::record_result(
+        ("fig7.ordered_accuracy." + std::string(protocol_name(p))).c_str(),
+        ordered.accuracy(p));
+
   if (!opt.out_dir.empty()) {
     dump_confusion(opt.out_dir, "fig7_blind_confusion.csv", blind);
     dump_confusion(opt.out_dir, "fig7_ordered_confusion.csv", ordered);

@@ -124,6 +124,13 @@ int main(int argc, char** argv) {
   std::printf("  speedup: %.2fx (target: >=3x)   [checksums %.6f %.6f]\n",
               speedup, tp.checksum, tr.checksum);
 
+  // Ledger: the equivalence gate is deterministic; throughputs are wall
+  // clock and belong to the tolerance-gated timings section.
+  bench::record_result("ident.equivalence_ok", 1.0);
+  bench::record_timing("ident.packed_msps", tp.samples_per_sec() / 1e6);
+  bench::record_timing("ident.reference_msps", tr.samples_per_sec() / 1e6);
+  bench::record_timing("ident.speedup_x", speedup);
+
   if (!opt.out_dir.empty()) {
     const std::vector<CsvColumn> cols = {
         {"packed_samples_per_sec", {tp.samples_per_sec()}},

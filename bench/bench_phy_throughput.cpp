@@ -254,6 +254,10 @@ int main(int argc, char** argv) {
     cols.push_back({chain.name + "_reference_samples_per_sec",
                     {tr.samples_per_sec()}});
     cols.push_back({chain.name + "_speedup", {speedup}});
+    bench::record_timing(("phy." + chain.name + "_fast_msps").c_str(),
+                         tf.samples_per_sec() / 1e6);
+    bench::record_timing(("phy." + chain.name + "_speedup_x").c_str(),
+                         speedup);
   }
   bench::rule();
   std::printf("  %zu/%zu chains at >=3x (target: >=3x on at least 2)\n",

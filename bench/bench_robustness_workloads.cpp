@@ -150,6 +150,8 @@ int main(int argc, char** argv) {
       if (v == 0) full_engaged += c.shed + c.deferrals + c.undersized;
     }
     const Cell& full = cells[sc * kVariants + 0];
+    bench::record_result(("workloads.delivery." + s.name).c_str(),
+                         full.delivery());
     if (full.delivery() < s.delivery_floor) {
       std::printf("  FAIL: full-stack delivery %.3f below the %.2f floor\n",
                   full.delivery(), s.delivery_floor);

@@ -7,7 +7,23 @@
 #include <initializer_list>
 #include <string>
 
+#include "obs/ledger.h"
+
 namespace ms::bench {
+
+/// Record one deterministic key figure (accuracy, range, gate outcome)
+/// into the run ledger — it lands in the manifest's deterministic
+/// "results" section, so it MUST be thread-count-invariant.
+inline void record_result(const char* key, double value) {
+  obs::ledger::record_result(key, value);
+}
+
+/// Record one wall-clock-derived figure (throughput, speedup) — it
+/// lands in the manifest's nondeterministic "timings" section, where
+/// obs_report diff gates it with a percentage tolerance.
+inline void record_timing(const char* key, double value) {
+  obs::ledger::record_timing(key, value);
+}
 
 inline void title(const char* id, const char* what) {
   std::printf("\n================================================================\n");

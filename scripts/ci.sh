@@ -36,15 +36,37 @@ echo "==> bench-perf smoke (Release only)"
 # microbenches: each runs its live fast-vs-reference bitwise equivalence
 # gate and exercises the metrics plumbing.  Timing numbers on CI
 # hardware are informational; the >=3x acceptance figures are measured
-# on a quiet machine.
+# on a quiet machine.  Each bench also writes a ms.run.v1 manifest;
+# obs_report diff compares bench_ident_throughput's against the
+# committed BENCH_seed.json baseline — warn-only, because CI hardware
+# timing noise is not a regression, but a determinism break (exit 8 on
+# the deterministic section) or an incomparable manifest (exit 2) still
+# deserves a loud line in the log.
 perf_dir="${repo_root}/build/bench-perf"
 mkdir -p "${perf_dir}"
 "${repo_root}/build/bench/bench_ident_throughput" --trials 1 \
-    --out "${perf_dir}" --metrics-out "${perf_dir}/metrics.json"
-"${repo_root}/build/bench/validate_metrics" "${perf_dir}/metrics.json"
+    --out "${perf_dir}" --metrics-out "${perf_dir}/metrics.json" \
+    --manifest-out "${perf_dir}/ident_manifest.json"
+"${repo_root}/build/tools/validate_metrics" "${perf_dir}/metrics.json"
 "${repo_root}/build/bench/bench_phy_throughput" --trials 2 \
-    --out "${perf_dir}" --metrics-out "${perf_dir}/phy_metrics.json"
-"${repo_root}/build/bench/validate_metrics" "${perf_dir}/phy_metrics.json"
+    --out "${perf_dir}" --metrics-out "${perf_dir}/phy_metrics.json" \
+    --manifest-out "${perf_dir}/phy_manifest.json"
+"${repo_root}/build/tools/validate_metrics" "${perf_dir}/phy_metrics.json"
+
+echo "==> cross-run regression report (warn-only)"
+if [ -f "${repo_root}/BENCH_seed.json" ]; then
+  diff_rc=0
+  "${repo_root}/build/tools/obs_report" diff \
+      "${repo_root}/BENCH_seed.json" "${perf_dir}/ident_manifest.json" \
+      --tolerance 50 || diff_rc=$?
+  case "${diff_rc}" in
+    0|4) echo "obs_report: ident manifest consistent with BENCH_seed.json" ;;
+    *)   echo "WARNING: obs_report diff vs BENCH_seed.json exited ${diff_rc}" \
+             "(warn-only; refresh the baseline if the change is intentional)" ;;
+  esac
+else
+  echo "WARNING: BENCH_seed.json baseline missing; skipping obs_report diff"
+fi
 
 echo "=== ASan+UBSan build ==="
 cmake -B "${repo_root}/build-asan" -S "${repo_root}" -DMS_SANITIZE=ON \

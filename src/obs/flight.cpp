@@ -1,0 +1,121 @@
+#include "obs/flight.h"
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace ms::obs::flight {
+
+namespace {
+
+struct Recorder {
+  std::mutex m;
+  FlightConfig cfg;
+  bool armed = false;
+  std::uint64_t seq = 0;
+};
+
+Recorder& rec() {
+  static Recorder r;
+  return r;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+void arm(const FlightConfig& cfg) {
+  Recorder& r = rec();
+  std::lock_guard<std::mutex> lk(r.m);
+  r.cfg = cfg;
+  r.armed = !cfg.dir.empty();
+  r.seq = 0;
+}
+
+void disarm() {
+  Recorder& r = rec();
+  std::lock_guard<std::mutex> lk(r.m);
+  r.armed = false;
+  r.cfg = FlightConfig{};
+  r.seq = 0;
+}
+
+bool armed() {
+  Recorder& r = rec();
+  std::lock_guard<std::mutex> lk(r.m);
+  return r.armed;
+}
+
+std::uint64_t incidents_recorded() {
+  Recorder& r = rec();
+  std::lock_guard<std::mutex> lk(r.m);
+  return r.seq;
+}
+
+std::string record_incident(const std::string& reason,
+                            const std::string& detail, std::uint32_t point,
+                            std::uint32_t trial, const TelemetryShard& shard) {
+  Recorder& r = rec();
+  FlightConfig cfg;
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lk(r.m);
+    if (!r.armed) return "";
+    cfg = r.cfg;
+    seq = r.seq++;
+  }
+
+  char name[64];
+  std::snprintf(name, sizeof name, "flight_%03llu_p%u_t%u.json",
+                static_cast<unsigned long long>(seq), point, trial);
+  const std::string path = cfg.dir + "/" + name;
+
+  std::string repro = cfg.repro_prefix;
+  repro += " --only-cell " + std::to_string(point) + "," +
+           std::to_string(trial);
+
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"ms.flight.v1\",\n";
+  out << "  \"reason\": \"" << detail::json_escape(reason) << "\",\n";
+  out << "  \"detail\": \"" << detail::json_escape(detail) << "\",\n";
+  out << "  \"point\": " << point << ",\n";
+  out << "  \"trial\": " << trial << ",\n";
+  out << "  \"config_hash\": \"" << hex64(cfg.config_hash) << "\",\n";
+  out << "  \"seed\": " << cfg.seed << ",\n";
+  out << "  \"trials\": " << cfg.trials << ",\n";
+  out << "  \"trial_deadline_ms\": " << cfg.trial_deadline_ms << ",\n";
+  // The cell's random stream is Rng::fork(point, trial) of the run
+  // seed — these two numbers regenerate it exactly.
+  out << "  \"rng_fork\": [" << point << ", " << trial << "],\n";
+  out << "  \"events_dropped\": " << shard.events_dropped() << ",\n";
+  out << "  \"trace\": [";
+  bool first = true;
+  for (const TraceEvent& ev : shard.events()) {
+    out << (first ? "\n    " : ",\n    ") << event_to_json(ev);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "],\n";
+  // "repro" stays the LAST key: `tail -1`-adjacent and easy to grep.
+  out << "  \"repro\": \"" << detail::json_escape(repro) << "\"\n}\n";
+
+  {
+    std::ofstream f(path, std::ios::trunc);
+    if (!f.is_open()) return "";  // never mask the original failure
+    f << out.str();
+    if (!f.good()) return "";
+  }
+  std::fprintf(stderr, "flight: bundle %s\n", path.c_str());
+  std::fprintf(stderr, "flight: repro: %s\n", repro.c_str());
+  return path;
+}
+
+}  // namespace ms::obs::flight

@@ -1,0 +1,210 @@
+#include "obs/heartbeat.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "obs/telemetry.h"
+
+namespace ms::obs::heartbeat {
+
+namespace {
+
+// Progress tallies the worker threads bump; everything else lives
+// behind the monitor mutex.
+std::atomic<std::uint64_t> g_cells_done{0};
+std::atomic<std::uint64_t> g_cells_total{0};
+std::atomic<std::uint64_t> g_poison_cells{0};
+
+volatile std::sig_atomic_t g_sigusr1 = 0;
+
+struct Monitor {
+  std::mutex m;
+  std::condition_variable cv;
+  HeartbeatConfig cfg;
+  std::function<ExtraStats()> provider;
+  std::thread thread;
+  bool running = false;
+  bool stop = false;
+  std::chrono::steady_clock::time_point start;
+};
+
+Monitor& mon() {
+  static Monitor m;
+  return m;
+}
+
+void on_sigusr1(int) { g_sigusr1 = 1; }
+
+std::string render_snapshot(const char* state, double elapsed_s,
+                            const ExtraStats& extra) {
+  const std::uint64_t done = g_cells_done.load(std::memory_order_relaxed);
+  const std::uint64_t total = g_cells_total.load(std::memory_order_relaxed);
+  const std::uint64_t poison = g_poison_cells.load(std::memory_order_relaxed);
+  // Naive linear ETA from cells/sec so far; -1 until one cell lands.
+  double eta_s = -1.0;
+  if (done > 0 && total >= done && elapsed_s > 0.0)
+    eta_s = elapsed_s * static_cast<double>(total - done) /
+            static_cast<double>(done);
+
+  std::ostringstream out;
+  out << "{\"schema\": \"ms.heartbeat.v1\""
+      << ", \"pid\": " << static_cast<long long>(::getpid())
+      << ", \"state\": \"" << state << "\""
+      << ", \"cells_done\": " << done << ", \"cells_total\": " << total
+      << ", \"poison_cells\": " << poison
+      << ", \"elapsed_s\": " << detail::json_number(elapsed_s)
+      << ", \"eta_s\": " << detail::json_number(eta_s)
+      << ", \"cache_hit_rate\": " << detail::json_number(extra.cache_hit_rate)
+      << ", \"checkpoint_cells\": " << extra.checkpoint_cells
+      << ", \"checkpoint_path\": \""
+      << detail::json_escape(extra.checkpoint_path) << "\"}";
+  return out.str();
+}
+
+/// tmp+rename so a reader polling the file never sees a torn write.
+void write_atomic(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f.is_open()) return;  // heartbeat is best-effort, never fatal
+    f << body << "\n";
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+void tick(Monitor& m, const char* state) {
+  ExtraStats extra;
+  std::function<ExtraStats()> provider;
+  std::string path;
+  double elapsed_s;
+  {
+    std::lock_guard<std::mutex> lk(m.m);
+    provider = m.provider;
+    path = m.cfg.path;
+    elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      m.start)
+            .count();
+  }
+  if (provider) extra = provider();
+  const std::string body = render_snapshot(state, elapsed_s, extra);
+  if (!path.empty()) write_atomic(path, body);
+  if (g_sigusr1) {
+    g_sigusr1 = 0;
+    std::fprintf(stderr, "heartbeat: %s\n", body.c_str());
+  }
+}
+
+void monitor_loop(Monitor& m) {
+  // Poll well below the rewrite interval so a SIGUSR1 snapshot lands
+  // promptly even with a slow heartbeat cadence.
+  std::uint64_t interval_ms;
+  {
+    std::lock_guard<std::mutex> lk(m.m);
+    interval_ms = m.cfg.interval_ms;
+  }
+  const auto poll = std::chrono::milliseconds(100);
+  auto last_write = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m.m);
+      m.cv.wait_for(lk, poll, [&] { return m.stop; });
+      if (m.stop) return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (g_sigusr1 ||
+        now - last_write >= std::chrono::milliseconds(interval_ms)) {
+      tick(m, "running");
+      last_write = now;
+    }
+  }
+}
+
+}  // namespace
+
+void set_extra_stats_provider(std::function<ExtraStats()> provider) {
+  Monitor& m = mon();
+  std::lock_guard<std::mutex> lk(m.m);
+  m.provider = std::move(provider);
+}
+
+void arm(const HeartbeatConfig& cfg) {
+  if (cfg.path.empty()) return;
+  disarm();
+  Monitor& m = mon();
+  {
+    std::lock_guard<std::mutex> lk(m.m);
+    m.cfg = cfg;
+    m.stop = false;
+    m.running = true;
+    m.start = std::chrono::steady_clock::now();
+  }
+  g_cells_done.store(0, std::memory_order_relaxed);
+  g_cells_total.store(0, std::memory_order_relaxed);
+  g_poison_cells.store(0, std::memory_order_relaxed);
+  std::signal(SIGUSR1, on_sigusr1);
+  m.thread = std::thread(monitor_loop, std::ref(m));
+  tick(m, "running");  // first snapshot exists before any cell runs
+}
+
+void grid_begin(std::uint64_t cells) {
+  g_cells_total.fetch_add(cells, std::memory_order_relaxed);
+}
+
+void note_cell_done(bool poison) {
+  g_cells_done.fetch_add(1, std::memory_order_relaxed);
+  if (poison) g_poison_cells.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm() {
+  Monitor& m = mon();
+  {
+    std::lock_guard<std::mutex> lk(m.m);
+    if (!m.running) return;
+    m.stop = true;
+    m.running = false;
+  }
+  m.cv.notify_all();
+  if (m.thread.joinable()) m.thread.join();
+  tick(m, "done");
+  std::signal(SIGUSR1, SIG_DFL);
+  std::lock_guard<std::mutex> lk(m.m);
+  m.cfg = HeartbeatConfig{};
+  m.provider = nullptr;
+}
+
+bool armed() {
+  Monitor& m = mon();
+  std::lock_guard<std::mutex> lk(m.m);
+  return m.running;
+}
+
+std::string snapshot_json(const char* state) {
+  Monitor& m = mon();
+  ExtraStats extra;
+  std::function<ExtraStats()> provider;
+  double elapsed_s = 0.0;
+  {
+    std::lock_guard<std::mutex> lk(m.m);
+    provider = m.provider;
+    if (m.running)
+      elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        m.start)
+              .count();
+  }
+  if (provider) extra = provider();
+  return render_snapshot(state, elapsed_s, extra);
+}
+
+}  // namespace ms::obs::heartbeat

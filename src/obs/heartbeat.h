@@ -1,0 +1,70 @@
+// Sweep heartbeat: a periodically rewritten status file plus a
+// SIGUSR1-triggered stderr snapshot, so a multi-hour grid sweep is
+// observable while it runs.
+//
+// The trial engine reports cheap atomically-updated progress
+// (cells done / total, poison count); a monitor thread renders that —
+// plus whatever the host wired in via the extra-stats provider
+// (waveform-cache hit rate, checkpoint journal position) — into a
+// small `ms.heartbeat.v1` JSON file, written tmp+rename so readers
+// never see a torn file.  `kill -USR1 <pid>` dumps the same snapshot
+// to stderr.
+//
+// Everything here is wall-clock-shaped and therefore quarantined from
+// the deterministic outputs: nothing written by this module is
+// reachable from --metrics-out / --trace-out or the manifest's
+// deterministic section (same rule as OBS_SCOPE, docs/OBSERVABILITY.md).
+//
+// Layering: this is obs code, so it cannot see the waveform cache or
+// the checkpoint session (both live in src/sim).  The bench CLI
+// registers a provider callback that closes over them instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ms::obs::heartbeat {
+
+struct HeartbeatConfig {
+  std::string path;                ///< status file ("" = disarmed)
+  std::uint64_t interval_ms = 1000;
+};
+
+/// Sim-layer stats the monitor cannot compute itself; filled by the
+/// provider callback on each heartbeat tick.
+struct ExtraStats {
+  double cache_hit_rate = -1.0;       ///< <0 = cache disabled / unknown
+  std::uint64_t checkpoint_cells = 0; ///< cells journaled so far
+  std::string checkpoint_path;        ///< "" = not checkpointing
+};
+
+/// Install (or clear, with nullptr) the extra-stats callback.  Called
+/// from the monitor thread; must be safe to invoke concurrently with
+/// the sweep.
+void set_extra_stats_provider(std::function<ExtraStats()> provider);
+
+/// Start the monitor thread and install the SIGUSR1 handler.  A second
+/// arm() replaces the previous configuration.  No-op when path is "".
+void arm(const HeartbeatConfig& cfg);
+
+/// Announce a grid: adds `cells` to the total the snapshot reports.
+/// (A bench can run several grids; totals accumulate.)
+void grid_begin(std::uint64_t cells);
+
+/// One cell finished (poison = quarantined by the watchdog).  Cheap:
+/// two relaxed atomic increments — called from worker threads.
+void note_cell_done(bool poison);
+
+/// Write a final "done" snapshot, stop the monitor thread, and restore
+/// the previous SIGUSR1 disposition.  Safe to call when never armed.
+void disarm();
+
+/// Is a heartbeat file being maintained?
+bool armed();
+
+/// Render the current snapshot as ms.heartbeat.v1 JSON (exposed for
+/// tests; `state` is "running" or "done").
+std::string snapshot_json(const char* state);
+
+}  // namespace ms::obs::heartbeat

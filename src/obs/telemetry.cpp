@@ -30,11 +30,15 @@ Aggregate& agg() {
   return a;
 }
 
+}  // namespace
+
+namespace detail {
+
 /// Deterministic double rendering: shortest round-trip-safe form would
 /// do, but %.17g is simpler and stable across runs, which is what the
 /// determinism contract needs.  Integral values print without the
 /// trailing ".0000..." noise.
-std::string fmt_double(double v) {
+std::string json_number(double v) {
   if (v == static_cast<double>(static_cast<long long>(v)) &&
       std::abs(v) < 1e15) {
     char buf[32];
@@ -69,6 +73,11 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+}  // namespace detail
+
+namespace {
+using detail::json_escape;
+std::string fmt_double(double v) { return detail::json_number(v); }
 }  // namespace
 
 // --- TelemetryShard ---------------------------------------------------

@@ -100,6 +100,11 @@ void set_enabled(bool on);
 
 namespace detail {
 TelemetryShard* current_shard();
+/// Deterministic JSON scalar/string rendering shared by every obs
+/// writer (metrics JSON, run manifests, heartbeat files, flight
+/// bundles): integral doubles print bare, everything else %.17g.
+std::string json_number(double v);
+std::string json_escape(const std::string& s);
 }  // namespace detail
 
 /// RAII: install `shard` as this thread's telemetry sink (restores the

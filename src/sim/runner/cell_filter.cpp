@@ -1,0 +1,23 @@
+#include "sim/runner/cell_filter.h"
+
+namespace ms::runner {
+
+namespace {
+std::optional<CellFilter>& filter_slot() {
+  static std::optional<CellFilter> f;
+  return f;
+}
+}  // namespace
+
+void set_cell_filter(std::optional<CellFilter> filter) {
+  filter_slot() = filter;
+}
+
+const std::optional<CellFilter>& cell_filter() { return filter_slot(); }
+
+bool cell_allowed(std::size_t point, std::size_t trial) {
+  const std::optional<CellFilter>& f = filter_slot();
+  return !f || (f->point == point && f->trial == trial);
+}
+
+}  // namespace ms::runner

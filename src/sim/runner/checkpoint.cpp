@@ -230,6 +230,7 @@ void CheckpointSession::arm(CheckpointConfig cfg,
   pending_.clear();
   buffers_.clear();
   pending_cells_ = 0;
+  journaled_cells_.store(0, std::memory_order_relaxed);
   next_grid_id_ = 0;
   epoch_seq_ = 0;
   next_recovered_grid_ = 0;
@@ -440,6 +441,7 @@ GridCheckpoint GridCheckpoint::begin(std::size_t points, std::size_t trials,
                          rc.poison, rc.result.data(), rc.result.size(),
                          rc.shard);
     }
+    s.journaled_cells_.fetch_add(rg.cells.size(), std::memory_order_relaxed);
     s.flush_locked();
   }
   return g;
@@ -475,6 +477,7 @@ void GridCheckpoint::record(std::size_t index, const void* payload,
     std::lock_guard<std::mutex> lk(s.mu_);
     if (s.armed_.load()) {
       s.worker_buffer_locked() += group;
+      s.journaled_cells_.fetch_add(1, std::memory_order_relaxed);
       if (++s.pending_cells_ >= s.cfg_.flush_interval) s.flush_locked();
     }
   }

@@ -125,6 +125,13 @@ class CheckpointSession {
   /// Journal path ("" when unarmed or restore-only).
   std::string path() const;
 
+  /// Cells journaled so far this session — fresh recordings plus cells
+  /// adopted from a recovered journal.  Cheap (one relaxed load); the
+  /// heartbeat reports it as the journal position.
+  std::uint64_t journaled_cells() const {
+    return journaled_cells_.load(std::memory_order_relaxed);
+  }
+
   // --- graceful SIGINT/SIGTERM drain ----------------------------------
   /// Install the drain handlers (idempotent).  After a signal, every
   /// in-flight cell finishes, queued cells are skipped, and
@@ -154,6 +161,7 @@ class CheckpointSession {
   void* file_ = nullptr;              ///< FILE* kept open for appends
   std::size_t table_metrics_ = 0;     ///< registry size at last table
   std::size_t pending_cells_ = 0;
+  std::atomic<std::uint64_t> journaled_cells_{0};
   std::uint32_t next_grid_id_ = 0;
   std::uint32_t epoch_seq_ = 0;
   RecoveredJournal recovered_;

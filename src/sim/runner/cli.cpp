@@ -7,9 +7,13 @@
 #include <system_error>
 
 #include "dsp/kernels/config.h"
+#include "obs/flight.h"
+#include "obs/heartbeat.h"
+#include "obs/ledger.h"
 #include "obs/profile.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "sim/runner/cell_filter.h"
 #include "sim/runner/checkpoint.h"
 #include "sim/runner/recovery.h"
 #include "sim/runner/watchdog.h"
@@ -51,6 +55,23 @@ std::optional<std::string> ensure_parent_dir(const std::string& file) {
       std::filesystem::path(file).parent_path();
   if (parent.empty()) return std::nullopt;
   return ensure_dir(parent.string());
+}
+
+/// The flight-bundle repro command up to (not including) --only-cell:
+/// the flags that pin WHAT the run computes (seed/trials/deadline and
+/// any non-default determinism-invariant toggles), single-threaded so
+/// the repro's stderr interleaves nothing, and none of the output flags
+/// (a repro should not overwrite the original run's artifacts).
+std::string repro_prefix(const char* argv0, const CliOptions& opts) {
+  std::string cmd = argv0;
+  if (opts.trials != 0) cmd += " --trials " + std::to_string(opts.trials);
+  if (opts.seed != 0) cmd += " --seed " + std::to_string(opts.seed);
+  if (opts.trial_deadline_ms != 0)
+    cmd += " --trial-deadline-ms " + std::to_string(opts.trial_deadline_ms);
+  if (!opts.fast_path) cmd += " --fast-path off";
+  if (!opts.waveform_cache) cmd += " --waveform-cache off";
+  cmd += " --threads 1";
+  return cmd;
 }
 
 }  // namespace
@@ -143,6 +164,37 @@ std::optional<std::string> parse_cli(int argc, const char* const* argv,
         return bad_value("--trial-deadline-ms", v,
                          "a non-negative integer (0 disables the watchdog)");
       opts.trial_deadline_ms = n;
+    } else if (arg == "--manifest-out") {
+      const auto v = value("--manifest-out");
+      if (!v) return bad_value("--manifest-out", v, "a file path");
+      opts.manifest_out = *v;
+    } else if (arg == "--heartbeat-out") {
+      const auto v = value("--heartbeat-out");
+      if (!v) return bad_value("--heartbeat-out", v, "a file path");
+      opts.heartbeat_out = *v;
+    } else if (arg == "--heartbeat-interval-ms") {
+      const auto v = value("--heartbeat-interval-ms");
+      std::uint64_t n = 0;
+      // 0 would mean rewriting the file as fast as the monitor can spin.
+      if (!v || !parse_u64(*v, n) || n == 0)
+        return bad_value("--heartbeat-interval-ms", v, "a positive integer");
+      opts.heartbeat_interval_ms = n;
+    } else if (arg == "--flight-out") {
+      const auto v = value("--flight-out");
+      if (!v) return bad_value("--flight-out", v, "a directory");
+      opts.flight_out = *v;
+    } else if (arg == "--only-cell") {
+      const auto v = value("--only-cell");
+      std::uint64_t p = 0, t = 0;
+      const std::size_t comma = v ? v->find(',') : std::string::npos;
+      if (!v || comma == std::string::npos ||
+          !parse_u64(v->substr(0, comma), p) ||
+          !parse_u64(v->substr(comma + 1), t))
+        return bad_value("--only-cell", v,
+                         "a 'point,trial' pair of non-negative integers");
+      opts.only_cell = true;
+      opts.only_cell_point = static_cast<std::size_t>(p);
+      opts.only_cell_trial = static_cast<std::size_t>(t);
     } else if (!arg.empty() && arg[0] == '-') {
       return "unknown flag: " + arg;
     } else {
@@ -163,7 +215,9 @@ std::string cli_usage(const char* prog) {
       "       [--metrics-out FILE] [--trace-out FILE] [--waveform-cache on|off]\n"
       "       [--fast-path on|off] [--checkpoint-out FILE]\n"
       "       [--checkpoint-interval N] [--resume FILE]\n"
-      "       [--trial-deadline-ms N]\n"
+      "       [--trial-deadline-ms N] [--manifest-out FILE]\n"
+      "       [--heartbeat-out FILE] [--heartbeat-interval-ms N]\n"
+      "       [--flight-out DIR] [--only-cell P,T]\n"
       "  --threads N        trial-engine worker threads (default: all cores)\n"
       "  --trials N         override the default trial count\n"
       "  --seed S           override the default master seed\n"
@@ -192,6 +246,23 @@ std::string cli_usage(const char* prog) {
       "  --trial-deadline-ms N\n"
       "                     cancel + quarantine any cell running longer than\n"
       "                     N ms as a poison cell (default 0 = off)\n"
+      "  --manifest-out FILE\n"
+      "                     write a ms.run.v1 run manifest: deterministic\n"
+      "                     section (config hash, metrics digest, bench\n"
+      "                     results) + nondeterministic section (git SHA,\n"
+      "                     wall timings, profile totals); compare runs with\n"
+      "                     obs_report diff\n"
+      "  --heartbeat-out FILE\n"
+      "                     maintain an atomically-rewritten progress file\n"
+      "                     while the sweep runs; kill -USR1 dumps the same\n"
+      "                     snapshot to stderr\n"
+      "  --heartbeat-interval-ms N\n"
+      "                     heartbeat rewrite cadence (default 1000)\n"
+      "  --flight-out DIR   on a cell exception or watchdog quarantine,\n"
+      "                     write a self-contained triage bundle (trace\n"
+      "                     ring, cell identity, repro command) into DIR\n"
+      "  --only-cell P,T    run only grid cell (point P, trial T) — the\n"
+      "                     triage mode flight-bundle repro commands use\n"
       "  --help             show this message\n";
   return u;
 }
@@ -210,8 +281,11 @@ CliOptions parse_cli_or_exit(int argc, const char* const* argv) {
   }
   if (!(err = ensure_dir(opts.out_dir)) &&
       !(err = ensure_parent_dir(opts.metrics_out)) &&
-      !(err = ensure_parent_dir(opts.trace_out)))
-    err = ensure_parent_dir(opts.checkpoint_out);
+      !(err = ensure_parent_dir(opts.trace_out)) &&
+      !(err = ensure_parent_dir(opts.checkpoint_out)) &&
+      !(err = ensure_parent_dir(opts.manifest_out)) &&
+      !(err = ensure_parent_dir(opts.heartbeat_out)))
+    err = ensure_dir(opts.flight_out);
   if (err) {
     std::fprintf(stderr, "error: %s\n", err->c_str());
     std::exit(2);
@@ -224,17 +298,60 @@ CliOptions parse_cli_or_exit(int argc, const char* const* argv) {
   kernels::set_fast_path_enabled(opts.fast_path);
   runner::set_default_trial_deadline(
       static_cast<double>(opts.trial_deadline_ms) * 1e-3);
+  // The identity hash covers the knobs that change WHAT is computed
+  // (program, seed, trials, deadline) and deliberately excludes the
+  // ones results are invariant to (threads, cache, fast path) —
+  // resuming across those is legal and is what the chaos harness
+  // exercises.  The run ledger reuses the same hash as the manifest's
+  // identity, so a manifest and a journal from the same run agree.
+  const std::string program =
+      std::filesystem::path(argv[0]).filename().string();
+  const std::uint64_t hash = ckpt::config_hash(
+      program, opts.seed, opts.trials, opts.trial_deadline_ms);
+  {
+    obs::ledger::RunInfo info;
+    info.program = program;
+    info.config_hash = hash;
+    info.seed = opts.seed;
+    info.trials = opts.trials;
+    info.trial_deadline_ms = opts.trial_deadline_ms;
+    info.threads = opts.threads;
+    info.fast_path = opts.fast_path;
+    info.waveform_cache = opts.waveform_cache;
+    obs::ledger::set_run_info(info);
+  }
+  if (opts.only_cell)
+    runner::set_cell_filter(
+        runner::CellFilter{opts.only_cell_point, opts.only_cell_trial});
+  if (!opts.flight_out.empty()) {
+    obs::flight::FlightConfig fc;
+    fc.dir = opts.flight_out;
+    fc.config_hash = hash;
+    fc.seed = opts.seed;
+    fc.trials = opts.trials;
+    fc.trial_deadline_ms = opts.trial_deadline_ms;
+    fc.repro_prefix = repro_prefix(argv[0], opts);
+    obs::flight::arm(fc);
+  }
+  if (!opts.heartbeat_out.empty()) {
+    // The heartbeat lives below the sim layer, so it cannot read the
+    // waveform cache or the checkpoint session itself — this closure
+    // bridges the gap at each tick.
+    obs::heartbeat::set_extra_stats_provider([] {
+      obs::heartbeat::ExtraStats extra;
+      const WaveformCache::Stats st = WaveformCache::instance().stats();
+      if (const std::uint64_t lookups = st.hits + st.misses; lookups > 0)
+        extra.cache_hit_rate =
+            static_cast<double>(st.hits) / static_cast<double>(lookups);
+      extra.checkpoint_cells =
+          ckpt::CheckpointSession::instance().journaled_cells();
+      extra.checkpoint_path = ckpt::CheckpointSession::instance().path();
+      return extra;
+    });
+    obs::heartbeat::arm(
+        {opts.heartbeat_out, opts.heartbeat_interval_ms});
+  }
   if (!opts.checkpoint_out.empty() || !opts.resume.empty()) {
-    // The identity hash covers the knobs that change WHAT is computed
-    // (program, seed, trials, deadline) and deliberately excludes the
-    // ones results are invariant to (threads, cache, fast path) —
-    // resuming across those is legal and is what the chaos harness
-    // exercises.
-    const std::string program =
-        std::filesystem::path(argv[0]).filename().string();
-    const std::uint64_t hash =
-        ckpt::config_hash(program, opts.seed, opts.trials,
-                          opts.trial_deadline_ms);
     std::optional<ckpt::RecoveredJournal> recovered;
     if (!opts.resume.empty()) {
       try {
@@ -300,6 +417,19 @@ bool finish_bench_output(const CliOptions& opts) {
     try {
       obs::write_trace_jsonl_file(opts.trace_out);
       std::fprintf(stderr, "trace: %s\n", opts.trace_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      ok = false;
+    }
+  }
+  // The heartbeat stops before the manifest is written: the manifest's
+  // wall_s should cover the sweep, and a "done" heartbeat with the final
+  // tallies is more useful to a poller than a file that just vanishes.
+  obs::heartbeat::disarm();
+  if (!opts.manifest_out.empty()) {
+    try {
+      obs::ledger::write_manifest_json_file(opts.manifest_out);
+      std::fprintf(stderr, "manifest: %s\n", opts.manifest_out.c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       ok = false;

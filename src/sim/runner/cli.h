@@ -30,6 +30,23 @@
 //                     per-cell watchdog: a cell running longer than N ms
 //                     is cancelled and quarantined as a poison cell
 //                     (0 = off, the default)
+//   --manifest-out F  write a ms.run.v1 run manifest to F (config hash,
+//                     metrics digest + bench results in a deterministic
+//                     section; git SHA, wall timings, profile totals in
+//                     a nondeterministic one) — see tools/obs_report
+//   --heartbeat-out F maintain an atomically-rewritten ms.heartbeat.v1
+//                     progress file at F while the sweep runs (cells
+//                     done/total, ETA, poison count, cache hit rate,
+//                     checkpoint position); SIGUSR1 dumps the same
+//                     snapshot to stderr
+//   --heartbeat-interval-ms N
+//                     heartbeat rewrite cadence (default 1000)
+//   --flight-out DIR  on a cell exception or watchdog quarantine, write
+//                     a self-contained ms.flight.v1 triage bundle (the
+//                     cell's trace ring + identity + a repro command)
+//                     into DIR
+//   --only-cell P,T   run only grid cell (point P, trial T) — the triage
+//                     mode flight-bundle repro commands use
 //   --help            print usage and exit 0
 // plus, for backward compatibility with the original benches, a single
 // bare positional argument which is treated as --out.  Anything else is
@@ -57,6 +74,13 @@ struct CliOptions {
   std::size_t checkpoint_interval = 32;  ///< cells per journal flush
   std::string resume;         ///< empty = fresh run; else journal to resume
   std::uint64_t trial_deadline_ms = 0;   ///< 0 = per-trial watchdog off
+  std::string manifest_out;   ///< empty = no run manifest
+  std::string heartbeat_out;  ///< empty = no heartbeat file
+  std::uint64_t heartbeat_interval_ms = 1000;
+  std::string flight_out;     ///< empty = no flight-recorder bundles
+  bool only_cell = false;     ///< restrict the sweep to one grid cell
+  std::size_t only_cell_point = 0;
+  std::size_t only_cell_trial = 0;
   bool help = false;
 };
 
@@ -74,10 +98,11 @@ std::string cli_usage(const char* prog);
 /// --trace-out) if missing, and arms tracing when --trace-out is given.
 CliOptions parse_cli_or_exit(int argc, const char* const* argv);
 
-/// Bench epilogue: dump the aggregated metrics registry / trace buffer to
-/// the files requested on the command line (no-ops when the flags were
-/// absent) and print the per-stage profile table to stderr.  Reports and
-/// returns false on I/O failure instead of throwing.
+/// Bench epilogue: dump the aggregated metrics registry / trace buffer /
+/// run manifest to the files requested on the command line (no-ops when
+/// the flags were absent), stop the heartbeat, and print the per-stage
+/// profile table to stderr.  Reports and returns false on I/O failure
+/// instead of throwing.
 bool finish_bench_output(const CliOptions& opts);
 
 }  // namespace ms

@@ -26,9 +26,12 @@
 
 #include "common/rng.h"
 #include "dsp/kernels/arena.h"
+#include "obs/flight.h"
+#include "obs/heartbeat.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "sim/faults/crash_point.h"
+#include "sim/runner/cell_filter.h"
 #include "sim/runner/checkpoint.h"
 #include "sim/runner/thread_pool.h"
 #include "sim/runner/watchdog.h"
@@ -93,6 +96,7 @@ class TrialRunner {
     double deadline_s = cfg_.trial_deadline_s;
     if (deadline_s < 0.0) deadline_s = runner::default_trial_deadline();
     runner::Watchdog watchdog(deadline_s, pool_.size());
+    obs::heartbeat::grid_begin(points * trials);
     try {
       pool_.run_indexed(points * trials, [&](std::size_t i) {
         // A drain signal (SIGINT/SIGTERM) skips queued cells; completed
@@ -101,10 +105,14 @@ class TrialRunner {
         if (ckpt::CheckpointSession::drain_requested()) return;
         const std::size_t point = i / trials;
         const std::size_t trial = i % trials;
+        // Triage mode (--only-cell): skip everything but the selected
+        // cell before any work — no Rng fork, no shard, no journal.
+        if (!runner::cell_allowed(point, trial)) return;
         if constexpr (kJournal) {
           if (grid.restored(i)) {
             bool poison = false;
             grid.restore(i, &out[i], &shards[i], &poison);
+            obs::heartbeat::note_cell_done(poison);
             return;
           }
         }
@@ -139,10 +147,28 @@ class TrialRunner {
                 .f("trial", c.trial)
                 .f("deadline_s", c.deadline_s)
                 .emit();
+            obs::flight::record_incident("watchdog_quarantine", c.what(),
+                                         c.point, c.trial, shards[i]);
+          } catch (const std::exception& e) {
+            // The sweep is about to die on this exception — capture the
+            // failing cell's trace ring first so the error ships with a
+            // self-contained repro bundle.
+            obs::flight::record_incident(
+                "exception", e.what(), static_cast<std::uint32_t>(point),
+                static_cast<std::uint32_t>(trial), shards[i]);
+            throw;
           }
         }
+        // Per-cell trace-ring overflow accounting: one histogram
+        // observation valued at this cell's dropped-event count, folded
+        // into the cell's own shard (before journaling, so a resumed
+        // run replays it).  Restored cells already carry theirs.
+        if (const std::uint64_t dropped = shards[i].events_dropped())
+          shards[i].observe(runner::trace_ring_drop_metric(),
+                            static_cast<double>(dropped));
         if constexpr (kJournal)
           if (grid.active()) grid.record(i, &out[i], shards[i], poison);
+        obs::heartbeat::note_cell_done(poison);
         faults::on_cell_complete();
       });
     } catch (...) {
@@ -152,6 +178,7 @@ class TrialRunner {
       throw;
     }
     merge_shards(shards);
+    warn_trace_ring_drops(shards);
     ckpt::CheckpointSession::finish_drain_if_requested();
     return out;
   }
@@ -185,6 +212,27 @@ class TrialRunner {
   static void merge_shards(const std::vector<obs::TelemetryShard>& shards) {
     if (!obs::enabled()) return;
     for (const obs::TelemetryShard& s : shards) obs::aggregate_merge(s);
+  }
+
+  /// One-line heads-up when any cell overflowed its trace ring: the
+  /// trace JSONL is still deterministic, but it is incomplete, and the
+  /// per-cell tally lives in the runner.trace_ring_dropped histogram.
+  static void warn_trace_ring_drops(
+      const std::vector<obs::TelemetryShard>& shards) {
+    std::size_t cells = 0;
+    std::uint64_t events = 0;
+    for (const obs::TelemetryShard& s : shards)
+      if (const std::uint64_t d = s.events_dropped()) {
+        ++cells;
+        events += d;
+      }
+    if (cells > 0)
+      std::fprintf(stderr,
+                   "warning: trace ring overflow: %zu cell%s dropped %llu "
+                   "event%s (see runner.trace_ring_dropped histogram)\n",
+                   cells, cells == 1 ? "" : "s",
+                   static_cast<unsigned long long>(events),
+                   events == 1 ? "" : "s");
   }
 
   RunnerConfig cfg_;

@@ -140,4 +140,13 @@ obs::MetricId poison_metric() {
   return id;
 }
 
+obs::MetricId trace_ring_drop_metric() {
+  // Bounds span "lost a couple" to "lost nearly everything" relative to
+  // TelemetryShard::kEventCapacity (1024).
+  static constexpr double kDropBounds[] = {1.0, 8.0, 64.0, 512.0, 4096.0};
+  static const obs::MetricId id =
+      obs::histogram("runner.trace_ring_dropped", kDropBounds);
+  return id;
+}
+
 }  // namespace ms::runner

@@ -96,4 +96,10 @@ double default_trial_deadline();
 /// without a watchdog (the JSON lists every registered counter).
 obs::MetricId poison_metric();
 
+/// The "runner.trace_ring_dropped" histogram: one observation per cell
+/// that overflowed its trace ring, valued at that cell's dropped-event
+/// count.  Lazily registered for the same reason as poison_metric() —
+/// sweeps that never drop an event keep their metrics JSON unchanged.
+obs::MetricId trace_ring_drop_metric();
+
 }  // namespace ms::runner

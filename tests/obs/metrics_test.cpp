@@ -47,6 +47,67 @@ TEST(MetricsRegistry, HistogramBoundsMustAscendAndBeNonEmpty) {
                Error);
 }
 
+TEST(MetricsRegistry, ConflictErrorsNameTheOffendingMetric) {
+  counter("test.metrics.named_conflict");
+  try {
+    gauge("test.metrics.named_conflict");
+    FAIL() << "kind conflict did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("test.metrics.named_conflict"),
+              std::string::npos)
+        << "kind-conflict message must name the metric: " << e.what();
+  }
+  const std::vector<double> b1 = {1.0, 2.0};
+  histogram("test.metrics.named_bounds_conflict", b1);
+  try {
+    histogram("test.metrics.named_bounds_conflict",
+              std::vector<double>{1.0, 5.0});
+    FAIL() << "bounds conflict did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("test.metrics.named_bounds_conflict"),
+        std::string::npos)
+        << "bounds-conflict message must name the metric: " << e.what();
+  }
+}
+
+TEST(Shard, HistogramUpperBoundsAreInclusive) {
+  // The bucketing rule is value <= bound: a value exactly equal to a
+  // bucket's upper bound lands in THAT bucket, never the next one.
+  const MetricId h = histogram("test.shard.boundary",
+                               std::vector<double>{1.0, 2.0, 4.0});
+  TelemetryShard s;
+  {
+    ShardScope scope(&s);
+    observe(h, 1.0);  // == bounds[0] -> bucket 0
+    observe(h, 2.0);  // == bounds[1] -> bucket 1
+    observe(h, 4.0);  // == bounds[2] (last finite bound) -> bucket 2
+  }
+  const auto hv = s.histogram_value(h);
+  ASSERT_EQ(hv.counts.size(), 4u);
+  EXPECT_EQ(hv.counts[0], 1u);
+  EXPECT_EQ(hv.counts[1], 1u);
+  EXPECT_EQ(hv.counts[2], 1u);
+  EXPECT_EQ(hv.counts[3], 0u);
+}
+
+TEST(Shard, HistogramOverflowBucketCatchesAboveLastBound) {
+  const MetricId h = histogram("test.shard.overflow",
+                               std::vector<double>{1.0, 2.0});
+  TelemetryShard s;
+  {
+    ShardScope scope(&s);
+    observe(h, 2.0000001);  // just past the last finite bound
+    observe(h, 1e12);
+  }
+  const auto hv = s.histogram_value(h);
+  ASSERT_EQ(hv.counts.size(), 3u);
+  EXPECT_EQ(hv.counts[0], 0u);
+  EXPECT_EQ(hv.counts[1], 0u);
+  EXPECT_EQ(hv.counts[2], 2u);  // implicit +inf bucket
+  EXPECT_EQ(hv.n, 2u);
+}
+
 TEST(Shard, RecordsThroughInstalledScope) {
   const MetricId c = counter("test.shard.counter");
   const MetricId g = gauge("test.shard.gauge");

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Manifest-determinism gate (ISSUE 9 acceptance): the `deterministic`
+# section of the ms.run.v1 manifest must be byte-identical across
+# --threads 1 and --threads 8 for the same (program, seed, trials).
+#
+# Two checks:
+#   1. `obs_report det` (the canonical deterministic-section rendering)
+#      byte-compares equal across the two runs, and
+#   2. `obs_report diff` on the pair never says REGRESSED — the verdict
+#      is identical (0) or within tolerance (4); the timings may move,
+#      the deterministic facts may not.
+#
+# usage: manifest_determinism.sh <bench_fig7_ordered> <obs_report> <workdir>
+set -euo pipefail
+
+bench="$1"
+report="$2"
+workdir="$3"
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+
+run() {
+  local name="$1" threads="$2"
+  local dir="$workdir/$name"
+  mkdir -p "$dir"
+  "$bench" --trials 2 --seed 7 --threads "$threads" --out "$dir" \
+    --manifest-out "$dir/manifest.json" \
+    >"$dir/stdout.txt" 2>"$dir/stderr.txt"
+}
+
+run t1 1
+run t8 8
+
+"$report" det "$workdir/t1/manifest.json" >"$workdir/t1.det"
+"$report" det "$workdir/t8/manifest.json" >"$workdir/t8.det"
+if ! cmp -s "$workdir/t1.det" "$workdir/t8.det"; then
+  echo "FAIL: deterministic manifest section differs across thread counts" >&2
+  diff "$workdir/t1.det" "$workdir/t8.det" >&2 || true
+  exit 1
+fi
+
+# The thread count lives in the nondeterministic section, so it must
+# actually differ between the two manifests — otherwise this gate is
+# comparing a run against itself.
+cmp -s "$workdir/t1/manifest.json" "$workdir/t8/manifest.json" && {
+  echo "FAIL: full manifests are identical; --threads was not recorded" >&2
+  exit 1
+}
+
+rc=0
+"$report" diff "$workdir/t1/manifest.json" "$workdir/t8/manifest.json" \
+  --tolerance 1000 >"$workdir/diff.txt" 2>&1 || rc=$?
+case "$rc" in
+  0|4) ;;
+  *)
+    echo "FAIL: obs_report diff exited $rc (want 0 or 4)" >&2
+    cat "$workdir/diff.txt" >&2
+    exit 1
+    ;;
+esac
+
+echo "manifest determinism: deterministic section byte-identical at 1 and 8 threads"

@@ -3,6 +3,8 @@
 # see src/sim/faults/crash_point.h) must be cancelled by the per-trial
 # watchdog, reported as a poison cell in --metrics-out, and the sweep
 # must still complete and write its figure CSVs — the pool never wedges.
+# The quarantine must also produce a flight bundle (--flight-out) whose
+# embedded repro command re-executes exactly the quarantined cell.
 #
 # usage: watchdog_quarantine.sh <bench_fig7_ordered> <workdir>
 set -euo pipefail
@@ -16,6 +18,7 @@ mkdir -p "$workdir"
 MS_HANG_AT_CELL=2,1 "$bench" --trials 2 --threads 2 --seed 7 \
   --trial-deadline-ms 250 --out "$workdir" \
   --metrics-out "$workdir/metrics.json" \
+  --flight-out "$workdir/flight" \
   >"$workdir/stdout.txt" 2>"$workdir/stderr.txt"
 
 grep -q '"runner.poison_cells": 1' "$workdir/metrics.json" || {
@@ -33,4 +36,44 @@ ls "$workdir"/*.csv >/dev/null 2>&1 || {
   exit 1
 }
 
-echo "watchdog quarantine: hung cell poisoned, sweep completed"
+# Flight bundle: exactly one incident, for cell (2,1), carrying a repro
+# command that ends in --only-cell 2,1.
+bundle=$(ls "$workdir"/flight/flight_*_p2_t1.json 2>/dev/null | head -1)
+[ -n "$bundle" ] || {
+  echo "FAIL: quarantine produced no flight bundle for cell (2,1)" >&2
+  ls "$workdir/flight" >&2 || true
+  exit 1
+}
+grep -q '"reason": "watchdog_quarantine"' "$bundle" || {
+  echo "FAIL: flight bundle lacks the watchdog_quarantine reason" >&2
+  cat "$bundle" >&2
+  exit 1
+}
+repro=$(sed -n 's/.*"repro": "\(.*\)".*/\1/p' "$bundle")
+[ -n "$repro" ] || {
+  echo "FAIL: flight bundle has no repro command" >&2
+  cat "$bundle" >&2
+  exit 1
+}
+case "$repro" in
+  *"--only-cell 2,1") ;;
+  *)
+    echo "FAIL: repro command does not select cell (2,1): $repro" >&2
+    exit 1
+    ;;
+esac
+
+# The repro command must actually re-execute the quarantined cell: run
+# it verbatim (same hang injection) and the single-cell sweep must
+# report exactly one poison cell again.
+mkdir -p "$workdir/repro"
+MS_HANG_AT_CELL=2,1 $repro --out "$workdir/repro" \
+  --metrics-out "$workdir/repro/metrics.json" \
+  >"$workdir/repro/stdout.txt" 2>"$workdir/repro/stderr.txt" || true
+grep -q '"runner.poison_cells": 1' "$workdir/repro/metrics.json" || {
+  echo "FAIL: repro run did not re-quarantine cell (2,1)" >&2
+  cat "$workdir/repro/metrics.json" >&2
+  exit 1
+}
+
+echo "watchdog quarantine: hung cell poisoned, sweep completed, repro replays it"

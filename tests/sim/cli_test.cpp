@@ -211,6 +211,60 @@ TEST(Cli, UsageNamesCheckpointFlags) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
 }
 
+TEST(Cli, ParsesObservabilityFlags) {
+  CliOptions o;
+  EXPECT_FALSE(parse({"--manifest-out", "run.json", "--heartbeat-out",
+                      "hb.json", "--heartbeat-interval-ms", "250",
+                      "--flight-out", "bundles", "--only-cell", "3,7"},
+                     o)
+                   .has_value());
+  EXPECT_EQ(o.manifest_out, "run.json");
+  EXPECT_EQ(o.heartbeat_out, "hb.json");
+  EXPECT_EQ(o.heartbeat_interval_ms, 250u);
+  EXPECT_EQ(o.flight_out, "bundles");
+  EXPECT_TRUE(o.only_cell);
+  EXPECT_EQ(o.only_cell_point, 3u);
+  EXPECT_EQ(o.only_cell_trial, 7u);
+}
+
+TEST(Cli, ObservabilityFlagsDefaultOff) {
+  CliOptions o;
+  EXPECT_FALSE(parse({}, o).has_value());
+  EXPECT_TRUE(o.manifest_out.empty());
+  EXPECT_TRUE(o.heartbeat_out.empty());
+  EXPECT_EQ(o.heartbeat_interval_ms, 1000u);
+  EXPECT_TRUE(o.flight_out.empty());
+  EXPECT_FALSE(o.only_cell);
+}
+
+TEST(Cli, RejectsBadObservabilityValues) {
+  CliOptions o;
+  EXPECT_TRUE(parse({"--manifest-out"}, o).has_value());
+  EXPECT_TRUE(parse({"--heartbeat-out"}, o).has_value());
+  EXPECT_TRUE(parse({"--heartbeat-interval-ms", "0"}, o).has_value());
+  EXPECT_TRUE(parse({"--heartbeat-interval-ms", "soon"}, o).has_value());
+  EXPECT_TRUE(parse({"--flight-out"}, o).has_value());
+  // --only-cell wants exactly "P,T" with both halves numeric.
+  EXPECT_TRUE(parse({"--only-cell"}, o).has_value());
+  EXPECT_TRUE(parse({"--only-cell", "3"}, o).has_value());
+  EXPECT_TRUE(parse({"--only-cell", "3,"}, o).has_value());
+  EXPECT_TRUE(parse({"--only-cell", ",7"}, o).has_value());
+  EXPECT_TRUE(parse({"--only-cell", "a,b"}, o).has_value());
+  const auto err = parse({"--only-cell", "3;7"}, o);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("--only-cell"), std::string::npos) << *err;
+  EXPECT_NE(err->find("'3;7'"), std::string::npos)
+      << "error message should quote the bad value: " << *err;
+}
+
+TEST(Cli, UsageNamesObservabilityFlags) {
+  const std::string usage = cli_usage("bench_x");
+  for (const char* flag :
+       {"--manifest-out", "--heartbeat-out", "--heartbeat-interval-ms",
+        "--flight-out", "--only-cell"})
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+}
+
 TEST(Cli, OrExitCreatesMissingOutDirectories) {
   // parse_cli_or_exit creates --out and the parents of the telemetry
   // output files instead of failing later at dump time.

@@ -1,0 +1,128 @@
+// Flight-recorder bundles: a recorded incident lands as one
+// self-contained ms.flight.v1 JSON file carrying the cell's identity,
+// its Rng fork coordinates, the shard's trace ring, and — last — the
+// copy-pasteable repro command ending in `--only-cell P,T`.  Also
+// covers the trial-engine hookup: a cell that throws produces an
+// "exception" bundle before the sweep dies.
+#include "obs/flight.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "sim/runner/trial_runner.h"
+
+namespace ms {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// The recorder is a process singleton: every test leaves it disarmed.
+class FlightTest : public ::testing::Test {
+ protected:
+  void TearDown() override { obs::flight::disarm(); }
+
+  obs::flight::FlightConfig test_cfg(const char* subdir) {
+    obs::flight::FlightConfig cfg;
+    cfg.dir = std::string(::testing::TempDir()) + "/" + subdir;
+    // TempDir exists; the bundle dir itself is the CLI's job, so make it.
+    std::filesystem::create_directories(cfg.dir);
+    cfg.config_hash = 0x0123456789abcdefull;
+    cfg.seed = 7;
+    cfg.trials = 4;
+    cfg.trial_deadline_ms = 250;
+    cfg.repro_prefix = "./bench_fake --trials 4 --seed 7 --threads 1";
+    return cfg;
+  }
+};
+
+TEST_F(FlightTest, DisarmedRecorderReturnsEmptyPath) {
+  EXPECT_FALSE(obs::flight::armed());
+  obs::TelemetryShard shard;
+  EXPECT_EQ(obs::flight::record_incident("exception", "boom", 0, 0, shard),
+            "");
+}
+
+TEST_F(FlightTest, BundleCarriesIdentityTraceAndRepro) {
+  obs::flight::arm(test_cfg("flight_bundle"));
+  ASSERT_TRUE(obs::flight::armed());
+
+  obs::TelemetryShard shard;
+  obs::TraceEvent ev;
+  ev.point = 2;
+  ev.trial = 1;
+  ev.sim_time = 3.5;
+  ev.subsys = obs::Subsystem::Runner;
+  ev.severity = obs::Severity::Warn;
+  ev.name = "flight_test.event";
+  shard.record_event(ev);
+
+  const std::string path = obs::flight::record_incident(
+      "watchdog_quarantine", "cell (2,1) exceeded 0.25s deadline", 2, 1,
+      shard);
+  ASSERT_NE(path, "");
+  EXPECT_EQ(obs::flight::incidents_recorded(), 1u);
+
+  const std::string bundle = read_file(path);
+  EXPECT_NE(bundle.find("\"schema\": \"ms.flight.v1\""), std::string::npos)
+      << bundle;
+  EXPECT_NE(bundle.find("\"reason\": \"watchdog_quarantine\""),
+            std::string::npos);
+  EXPECT_NE(bundle.find("\"point\": 2"), std::string::npos);
+  EXPECT_NE(bundle.find("\"trial\": 1"), std::string::npos);
+  EXPECT_NE(bundle.find("\"config_hash\": \"0123456789abcdef\""),
+            std::string::npos);
+  EXPECT_NE(bundle.find("\"rng_fork\": [2, 1]"), std::string::npos);
+  EXPECT_NE(bundle.find("flight_test.event"), std::string::npos);
+  // The repro command is the bundle's last key — after the trace array —
+  // and selects exactly the failed cell.
+  const std::size_t repro = bundle.find("\"repro\"");
+  ASSERT_NE(repro, std::string::npos);
+  EXPECT_GT(repro, bundle.find("\"trace\""));
+  EXPECT_NE(bundle.find("--only-cell 2,1", repro), std::string::npos)
+      << bundle;
+}
+
+TEST_F(FlightTest, ThrowingCellProducesExceptionBundle) {
+  obs::flight::arm(test_cfg("flight_throw"));
+  const std::uint64_t before = obs::flight::incidents_recorded();
+
+  TrialRunner runner({2, 11});
+  EXPECT_THROW(
+      runner.run_grid(2, 2,
+                      [](std::size_t point, std::size_t trial, Rng&) {
+                        if (point == 1 && trial == 0)
+                          throw std::runtime_error("flight_test boom");
+                        return 1.0;
+                      }),
+      std::runtime_error);
+  EXPECT_EQ(obs::flight::incidents_recorded(), before + 1);
+}
+
+TEST_F(FlightTest, SequentialIncidentsGetDistinctBundles) {
+  obs::flight::arm(test_cfg("flight_seq"));
+  obs::TelemetryShard shard;
+  const std::string a =
+      obs::flight::record_incident("exception", "first", 0, 0, shard);
+  const std::string b =
+      obs::flight::record_incident("exception", "second", 0, 1, shard);
+  ASSERT_NE(a, "");
+  ASSERT_NE(b, "");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(obs::flight::incidents_recorded(), 2u);
+  EXPECT_NE(read_file(b).find("\"detail\": \"second\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,132 @@
+// Sweep heartbeat through the trial engine: arming maintains a
+// tmp+rename status file the grid updates as cells land, the final
+// snapshot says "done" with every cell accounted for, and the
+// extra-stats provider's sim-layer numbers show up in the JSON.  All of
+// it is a side channel — nothing here touches the deterministic
+// outputs, which obs/determinism_test.cpp enforces separately.
+#include "obs/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/runner/trial_runner.h"
+
+namespace ms {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// The heartbeat is a process singleton: every test leaves it disarmed.
+class HeartbeatTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::heartbeat::disarm();
+    obs::heartbeat::set_extra_stats_provider(nullptr);
+  }
+};
+
+TEST_F(HeartbeatTest, DisarmedByDefaultAndDisarmIsIdempotent) {
+  EXPECT_FALSE(obs::heartbeat::armed());
+  obs::heartbeat::disarm();  // never armed: must be a no-op
+  EXPECT_FALSE(obs::heartbeat::armed());
+}
+
+TEST_F(HeartbeatTest, EmptyPathDoesNotArm) {
+  obs::heartbeat::arm({});
+  EXPECT_FALSE(obs::heartbeat::armed());
+}
+
+TEST_F(HeartbeatTest, GridRunEndsWithDoneSnapshotCoveringEveryCell) {
+  const std::string path = temp_path("heartbeat_grid.json");
+  obs::heartbeat::HeartbeatConfig cfg;
+  cfg.path = path;
+  cfg.interval_ms = 10;
+  obs::heartbeat::arm(cfg);
+  ASSERT_TRUE(obs::heartbeat::armed());
+
+  TrialRunner runner({2, 7});
+  const auto out = runner.run_grid(
+      3, 4, [](std::size_t point, std::size_t trial, Rng& rng) {
+        return static_cast<double>(point * 10 + trial) + rng.uniform();
+      });
+  ASSERT_EQ(out.size(), 12u);
+
+  obs::heartbeat::disarm();
+  EXPECT_FALSE(obs::heartbeat::armed());
+
+  const std::string snap = read_file(path);
+  EXPECT_NE(snap.find("\"schema\": \"ms.heartbeat.v1\""), std::string::npos)
+      << snap;
+  EXPECT_NE(snap.find("\"state\": \"done\""), std::string::npos) << snap;
+  EXPECT_NE(snap.find("\"cells_done\": 12"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("\"cells_total\": 12"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("\"poison_cells\": 0"), std::string::npos) << snap;
+  // The tmp staging file must not linger after the rename.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+TEST_F(HeartbeatTest, SnapshotTracksProgressTallies) {
+  obs::heartbeat::HeartbeatConfig cfg;
+  cfg.path = temp_path("heartbeat_tallies.json");
+  cfg.interval_ms = 100000;  // effectively manual: we render directly
+  obs::heartbeat::arm(cfg);
+
+  obs::heartbeat::grid_begin(5);
+  obs::heartbeat::note_cell_done(false);
+  obs::heartbeat::note_cell_done(true);  // poisoned cell
+  const std::string snap = obs::heartbeat::snapshot_json("running");
+  EXPECT_NE(snap.find("\"state\": \"running\""), std::string::npos) << snap;
+  EXPECT_NE(snap.find("\"cells_done\": 2"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("\"cells_total\": 5"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("\"poison_cells\": 1"), std::string::npos) << snap;
+}
+
+TEST_F(HeartbeatTest, ExtraStatsProviderFeedsTheSnapshot) {
+  obs::heartbeat::HeartbeatConfig cfg;
+  cfg.path = temp_path("heartbeat_extra.json");
+  cfg.interval_ms = 100000;
+  obs::heartbeat::set_extra_stats_provider([] {
+    obs::heartbeat::ExtraStats s;
+    s.cache_hit_rate = 0.5;
+    s.checkpoint_cells = 42;
+    s.checkpoint_path = "/tmp/journal.ckpt";
+    return s;
+  });
+  obs::heartbeat::arm(cfg);
+
+  const std::string snap = obs::heartbeat::snapshot_json("running");
+  EXPECT_NE(snap.find("\"cache_hit_rate\": 0.5"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("\"checkpoint_cells\": 42"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("/tmp/journal.ckpt"), std::string::npos) << snap;
+}
+
+TEST_F(HeartbeatTest, RearmResetsTallies) {
+  obs::heartbeat::HeartbeatConfig cfg;
+  cfg.path = temp_path("heartbeat_rearm.json");
+  cfg.interval_ms = 100000;
+  obs::heartbeat::arm(cfg);
+  obs::heartbeat::grid_begin(3);
+  obs::heartbeat::note_cell_done(true);
+  obs::heartbeat::disarm();
+
+  obs::heartbeat::arm(cfg);
+  const std::string snap = obs::heartbeat::snapshot_json("running");
+  EXPECT_NE(snap.find("\"cells_done\": 0"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("\"cells_total\": 0"), std::string::npos) << snap;
+  EXPECT_NE(snap.find("\"poison_cells\": 0"), std::string::npos) << snap;
+}
+
+}  // namespace
+}  // namespace ms
