@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # Full CI sweep: Release build + the four labeled ctest suites (unit,
 # property, integration, golden) — the property label includes the
-# bitpack equivalence, multipath-trajectory, and PHY fast-path
-# differential suites, and the unit label the workload/degradation/
-# time-varying-channel suites, so all of them get an ASan+UBSan pass
-# below for free — then the bench-smoke label (which includes the
-# threads-1 vs threads-8 byte-identity gates for the waveform cache,
-# the workload scorecard, and the kernel fast path), a bench-perf
-# smoke of the identification- and PHY-throughput microbenches, and
-# finally the same four suites under ASan+UBSan (-DMS_SANITIZE=ON).
-# Exits nonzero on the first failing step.
+# bitpack equivalence, multipath-trajectory, PHY fast-path
+# differential, and fleet capture/superposition suites, and the unit
+# label the workload/degradation/time-varying-channel/fleet suites, so
+# all of them get an ASan+UBSan pass below for free — then the
+# bench-smoke label (which includes the threads-1 vs threads-8
+# byte-identity gates for the waveform cache, the workload scorecard,
+# the kernel fast path, and the many-tag scale sweep), a bench-perf
+# smoke of the identification-, PHY-throughput, and tag-scaling
+# microbenches, and finally the same four suites under ASan+UBSan
+# (-DMS_SANITIZE=ON).  Exits nonzero on the first failing step.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -52,6 +53,11 @@ mkdir -p "${perf_dir}"
     --out "${perf_dir}" --metrics-out "${perf_dir}/phy_metrics.json" \
     --manifest-out "${perf_dir}/phy_manifest.json"
 "${repo_root}/build/tools/validate_metrics" "${perf_dir}/phy_metrics.json"
+"${repo_root}/build/bench/bench_scale_tags" --trials 2 --threads 2 \
+    --seed 7 --tags 32 \
+    --out "${perf_dir}" --metrics-out "${perf_dir}/scale_metrics.json" \
+    --manifest-out "${perf_dir}/scale_manifest.json"
+"${repo_root}/build/tools/validate_metrics" "${perf_dir}/scale_metrics.json"
 
 echo "==> cross-run regression report (warn-only)"
 if [ -f "${repo_root}/BENCH_seed.json" ]; then
@@ -66,6 +72,19 @@ if [ -f "${repo_root}/BENCH_seed.json" ]; then
   esac
 else
   echo "WARNING: BENCH_seed.json baseline missing; skipping obs_report diff"
+fi
+if [ -f "${repo_root}/BENCH_seed_scale.json" ]; then
+  diff_rc=0
+  "${repo_root}/build/tools/obs_report" diff \
+      "${repo_root}/BENCH_seed_scale.json" "${perf_dir}/scale_manifest.json" \
+      --tolerance 50 || diff_rc=$?
+  case "${diff_rc}" in
+    0|4) echo "obs_report: scale manifest consistent with BENCH_seed_scale.json" ;;
+    *)   echo "WARNING: obs_report diff vs BENCH_seed_scale.json exited ${diff_rc}" \
+             "(warn-only; refresh the baseline if the change is intentional)" ;;
+  esac
+else
+  echo "WARNING: BENCH_seed_scale.json baseline missing; skipping obs_report diff"
 fi
 
 echo "=== ASan+UBSan build ==="

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/fleet/capture.h"
+
 namespace ms {
 
 CollisionSetup fig16_time_collision() {
@@ -64,8 +66,8 @@ CollisionResult run_collision(const CollisionSetup& setup,
       std::min(1.0, setup.collision_vulnerability * filter_gain);
   const double duty_a = setup.a.airtime_duty();
   const double duty_b = setup.b.airtime_duty();
-  r.b_loss_fraction = std::min(1.0, vulnerability * duty_a);
-  r.a_loss_fraction = std::min(1.0, vulnerability * duty_b);
+  r.b_loss_fraction = fleet::airtime_overlap_loss(duty_a, vulnerability);
+  r.a_loss_fraction = fleet::airtime_overlap_loss(duty_b, vulnerability);
 
   auto scale = [](const Throughput& t, double keep) {
     Throughput s = t;

@@ -1,0 +1,71 @@
+#include "sim/fleet/tag_fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace ms::fleet {
+
+TagFleet::TagFleet(FleetConfig cfg, std::vector<TagSpec> tags)
+    : cfg_(std::move(cfg)), tags_(std::move(tags)) {
+  cfg_.capture.validate();
+  MS_CHECK_MSG(!tags_.empty(), "a fleet needs at least one tag");
+  MS_CHECK_MSG(cfg_.slots_per_trial >= 1, "slots_per_trial must be >= 1");
+  std::sort(tags_.begin(), tags_.end(),
+            [](const TagSpec& a, const TagSpec& b) { return a.id < b.id; });
+  for (std::size_t i = 1; i < tags_.size(); ++i)
+    if (tags_[i].id == tags_[i - 1].id)
+      throw Error("TagFleet: duplicate tag id " +
+                  std::to_string(tags_[i].id));
+  for (const TagSpec& t : tags_) {
+    if (!(t.tx_probability >= 0.0 && t.tx_probability <= 1.0))
+      throw Error("TagSpec.tx_probability expects [0, 1], got " +
+                  std::to_string(t.tx_probability) + " (tag " +
+                  std::to_string(t.id) + ")");
+    if (!(t.tag_rx_distance_m > 0.0) || !(t.tx_tag_distance_m > 0.0))
+      throw Error("TagSpec distances must be positive (tag " +
+                  std::to_string(t.id) + ")");
+  }
+}
+
+BackscatterLink TagFleet::link_for(std::size_t i) const {
+  BackscatterLink link = cfg_.link;
+  link.tx_tag_distance_m = tags_[i].tx_tag_distance_m;
+  link.tag_rx_wall = tags_[i].wall;
+  return link;
+}
+
+double TagFleet::mean_rx_power_dbm(std::size_t i) const {
+  return link_for(i).rx_power_dbm(tags_[i].tag_rx_distance_m);
+}
+
+double TagFleet::noise_dbm(std::size_t i) const {
+  const ProtocolInfo& info = protocol_info(tags_[i].protocol);
+  return thermal_noise_dbm(info.bandwidth_hz) + cfg_.link.rx_noise_figure_db;
+}
+
+std::vector<TagSpec> default_fleet_specs(std::size_t n, double min_radius_m,
+                                         double max_radius_m) {
+  MS_CHECK(n >= 1);
+  MS_CHECK(min_radius_m > 0.0 && max_radius_m >= min_radius_m);
+  std::vector<TagSpec> specs(n);
+  const double log_lo = std::log(min_radius_m);
+  const double log_hi = std::log(max_radius_m);
+  for (std::size_t i = 0; i < n; ++i) {
+    TagSpec& t = specs[i];
+    t.id = static_cast<std::uint32_t>(i);
+    // Alternating ZigBee/BLE: both 8 Msps baseband, so the waveform
+    // probe can superpose any subset sample-for-sample.
+    t.protocol = (i % 2 == 0) ? Protocol::Zigbee : Protocol::Ble;
+    t.overlay = mode_params(t.protocol, OverlayMode::Mode1);
+    const double frac =
+        n == 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    t.tag_rx_distance_m = std::exp(log_lo + frac * (log_hi - log_lo));
+  }
+  return specs;
+}
+
+}  // namespace ms::fleet

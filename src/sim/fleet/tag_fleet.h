@@ -1,0 +1,100 @@
+// Batched multi-tag world model (ROADMAP item 1, NetScatter scale).
+//
+// The paper's experiments are one tag per excitation; a TagFleet is N
+// tags sharing ONE excitation packet stream, each with its own stable
+// id, protocol + overlay config, placement-derived link budget, and an
+// independent counter-derived Rng stream.  The fleet is the world the
+// scale experiment (scale_experiment.h) simulates: per slot, each tag
+// decides independently whether to backscatter, the capture engine
+// (capture.h) arbitrates the contenders, and the superposition stage
+// (channel/superposition.h) can render the composite waveform the
+// receiver actually sees.
+//
+// Per-tag Rng stream layout (docs/SCALE.md): the trial engine forks one
+// stream per (point, trial) cell; the fleet derives one sub-stream per
+// tag from it with the counter-based fork(salt, tag_id), so a tag's
+// draws depend only on (master seed, point, trial, tag id) — never on
+// how many sibling tags exist, in what order they are simulated, or
+// which thread runs the cell.  Separate salts keep the contention
+// draws, the placement draws, and the waveform-probe payload draws in
+// disjoint stream subspaces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/link.h"
+#include "common/rng.h"
+#include "core/overlay/overlay.h"
+#include "core/overlay/throughput.h"
+#include "sim/fleet/capture.h"
+
+namespace ms::fleet {
+
+/// Stream-subspace salts for per-tag forks off the cell Rng.
+inline constexpr std::uint64_t kContentionStream = 0x666c656574'01ull;
+inline constexpr std::uint64_t kPlacementStream = 0x666c656574'02ull;
+inline constexpr std::uint64_t kProbeStream = 0x666c656574'03ull;
+inline constexpr std::uint64_t kProbeNoiseStream = 0x666c656574'04ull;
+
+/// One tag of the fleet: identity, protocol config, and placement.
+struct TagSpec {
+  std::uint32_t id = 0;                 ///< unique, stable (tie-break key)
+  Protocol protocol = Protocol::Zigbee;
+  OverlayParams overlay;                ///< κ/γ of the tag's overlay
+  double tag_rx_distance_m = 1.0;       ///< tag → receiver
+  double tx_tag_distance_m = 0.8;       ///< carrier source → tag
+  WallMaterial wall = WallMaterial::None;
+  double tx_probability = 1.0;          ///< slotted-contention persistence
+};
+
+struct FleetConfig {
+  BackscatterLink link;        ///< shared budget template (tx power, gains)
+  ExcitationSpec excitation;   ///< the ONE carrier every tag rides
+  CaptureConfig capture;
+  std::size_t slots_per_trial = 64;
+  double fading_stddev_db = 4.0;  ///< per-slot log-normal fading per tag
+};
+
+/// N tags sharing one excitation.  Construction sorts the specs by id
+/// (so iteration order == arbitration order) and rejects duplicates.
+class TagFleet {
+ public:
+  TagFleet(FleetConfig cfg, std::vector<TagSpec> tags);
+
+  std::size_t size() const { return tags_.size(); }
+  const FleetConfig& config() const { return cfg_; }
+  const TagSpec& tag(std::size_t i) const { return tags_[i]; }
+
+  /// The shared budget template specialized to tag i's placement.
+  BackscatterLink link_for(std::size_t i) const;
+
+  /// Mean backscattered power at the receiver from tag i (no fading).
+  double mean_rx_power_dbm(std::size_t i) const;
+
+  /// Receiver noise floor (dBm) in tag i's decode bandwidth.
+  double noise_dbm(std::size_t i) const;
+
+  /// Tag i's counter-derived sub-stream of `cell_rng` for the given
+  /// salt subspace.  Pure function of (cell stream, salt, tag id);
+  /// does not advance cell_rng.
+  Rng tag_stream(const Rng& cell_rng, std::uint64_t salt,
+                 std::size_t i) const {
+    return cell_rng.fork(salt, tags_[i].id);
+  }
+
+ private:
+  FleetConfig cfg_;
+  std::vector<TagSpec> tags_;
+};
+
+/// Canonical deterministic fleet: n tags on log-spaced radii in
+/// [min_radius_m, max_radius_m], ids 0..n-1, protocols alternating
+/// ZigBee / BLE (both 8 Msps baseband, so their backscattered waveforms
+/// superpose sample-for-sample) with each protocol's Table-6 Mode 1
+/// overlay.  The placement is a pure function of (i, n) — randomized
+/// placement belongs in per-trial draws, not in the fleet identity.
+std::vector<TagSpec> default_fleet_specs(std::size_t n, double min_radius_m,
+                                         double max_radius_m);
+
+}  // namespace ms::fleet

@@ -78,8 +78,8 @@ std::array<double, 4> calibrate_thresholds(IdentTrialConfig cfg,
 /// Full §2.3.2 search: all 24 matching orders × the threshold grid.
 /// Returns the best (order, thresholds) pair by average accuracy.
 struct OrderedCalibration {
-  std::array<Protocol, 4> order;
-  std::array<double, 4> thresholds;
+  std::array<Protocol, 4> order{};
+  std::array<double, 4> thresholds{};
   double calibration_accuracy = 0.0;
 };
 OrderedCalibration calibrate_ordered_matching(IdentTrialConfig cfg,

@@ -1,5 +1,6 @@
 #include "sim/runner/cli.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -37,6 +38,18 @@ bool parse_u64(const std::string& s, std::uint64_t& out) {
   return true;
 }
 
+/// Parse a finite double; returns false on garbage, trailing junk, or
+/// non-finite values ("nan"/"inf" are not experiment knobs).
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  if (!std::isfinite(v)) return false;
+  out = v;
+  return true;
+}
+
 /// Create `dir` (and parents).  Returns an error message naming the
 /// path that failed, or nullopt.
 std::optional<std::string> ensure_dir(const std::string& dir) {
@@ -70,6 +83,10 @@ std::string repro_prefix(const char* argv0, const CliOptions& opts) {
     cmd += " --trial-deadline-ms " + std::to_string(opts.trial_deadline_ms);
   if (!opts.fast_path) cmd += " --fast-path off";
   if (!opts.waveform_cache) cmd += " --waveform-cache off";
+  if (opts.tags != 0) cmd += " --tags " + std::to_string(opts.tags);
+  if (opts.capture_threshold_db >= 0.0)
+    cmd += " --capture-threshold-db " +
+           std::to_string(opts.capture_threshold_db);
   cmd += " --threads 1";
   return cmd;
 }
@@ -195,6 +212,21 @@ std::optional<std::string> parse_cli(int argc, const char* const* argv,
       opts.only_cell = true;
       opts.only_cell_point = static_cast<std::size_t>(p);
       opts.only_cell_trial = static_cast<std::size_t>(t);
+    } else if (arg == "--tags") {
+      const auto v = value("--tags");
+      std::uint64_t n = 0;
+      // A fleet of zero tags has nothing to sweep; the bench default is
+      // what you get by omitting the flag.
+      if (!v || !parse_u64(*v, n) || n == 0)
+        return bad_value("--tags", v, "a positive integer");
+      opts.tags = static_cast<std::size_t>(n);
+    } else if (arg == "--capture-threshold-db") {
+      const auto v = value("--capture-threshold-db");
+      double x = 0.0;
+      if (!v || !parse_double(*v, x) || x < 0.0)
+        return bad_value("--capture-threshold-db", v,
+                         "a finite non-negative margin in dB");
+      opts.capture_threshold_db = x;
     } else if (!arg.empty() && arg[0] == '-') {
       return "unknown flag: " + arg;
     } else {
@@ -217,7 +249,8 @@ std::string cli_usage(const char* prog) {
       "       [--checkpoint-interval N] [--resume FILE]\n"
       "       [--trial-deadline-ms N] [--manifest-out FILE]\n"
       "       [--heartbeat-out FILE] [--heartbeat-interval-ms N]\n"
-      "       [--flight-out DIR] [--only-cell P,T]\n"
+      "       [--flight-out DIR] [--only-cell P,T] [--tags N]\n"
+      "       [--capture-threshold-db X]\n"
       "  --threads N        trial-engine worker threads (default: all cores)\n"
       "  --trials N         override the default trial count\n"
       "  --seed S           override the default master seed\n"
@@ -263,6 +296,11 @@ std::string cli_usage(const char* prog) {
       "                     ring, cell identity, repro command) into DIR\n"
       "  --only-cell P,T    run only grid cell (point P, trial T) — the\n"
       "                     triage mode flight-bundle repro commands use\n"
+      "  --tags N           fleet benches: sweep tag counts 1 → N\n"
+      "                     (doubling); ignored by benches with no fleet\n"
+      "  --capture-threshold-db X\n"
+      "                     capture-effect margin in dB for the fleet\n"
+      "                     arbitration engine (finite, >= 0)\n"
       "  --help             show this message\n";
   return u;
 }

@@ -47,6 +47,11 @@
 //                     into DIR
 //   --only-cell P,T   run only grid cell (point P, trial T) — the triage
 //                     mode flight-bundle repro commands use
+//   --tags N          fleet benches: sweep tag counts 1 → N (doubling);
+//                     benches that have no fleet simply ignore it
+//   --capture-threshold-db X
+//                     capture-effect margin (dB) for the fleet
+//                     arbitration engine (finite, >= 0)
 //   --help            print usage and exit 0
 // plus, for backward compatibility with the original benches, a single
 // bare positional argument which is treated as --out.  Anything else is
@@ -81,6 +86,8 @@ struct CliOptions {
   bool only_cell = false;     ///< restrict the sweep to one grid cell
   std::size_t only_cell_point = 0;
   std::size_t only_cell_trial = 0;
+  std::size_t tags = 0;       ///< 0 = use the bench's default max tag count
+  double capture_threshold_db = -1.0;  ///< < 0 = use the bench's default
   bool help = false;
 };
 

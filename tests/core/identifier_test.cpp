@@ -1,8 +1,11 @@
 #include "core/ident/identifier.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "sim/ident_experiment.h"
+#include "sim/runner/cell_filter.h"
 
 namespace ms {
 namespace {
@@ -86,6 +89,24 @@ TEST(Identifier, OrderedBeatsBlindAt10Msps) {
   const double ordered = run_ident_experiment(cfg, 80).average_accuracy();
   EXPECT_GT(ordered, blind - 0.01);
   EXPECT_GE(ordered, 0.93);
+}
+
+TEST(Identifier, DegenerateCalibrationStillReturnsValidOrder) {
+  // A --only-cell repro (or a watchdog quarantine under load) can starve
+  // the §2.3.2 calibration of every trial: all candidate orders then
+  // score -1/NaN and none is ever selected.  The fallback must still
+  // hand back real Protocol values — protocol_name() on an
+  // indeterminate order aborted the flight-recorder repro path.
+  runner::set_cell_filter(runner::CellFilter{9999, 9999});
+  IdentTrialConfig cfg = base_config(10e6, 20, 60);
+  cfg.ident.compute = ComputeMode::OneBit;
+  const OrderedCalibration cal = calibrate_ordered_matching(cfg, 4);
+  runner::set_cell_filter(std::nullopt);
+  for (Protocol p : cal.order) {
+    EXPECT_NE(std::find(kAllProtocols.begin(), kAllProtocols.end(), p),
+              kAllProtocols.end());
+  }
+  EXPECT_EQ(cal.calibration_accuracy, -1.0);
 }
 
 TEST(Identifier, ExtendedWindowRescues25Msps) {

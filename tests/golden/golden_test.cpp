@@ -57,7 +57,9 @@ INSTANTIATE_TEST_SUITE_P(
                       "overlay_frame_bits.txt",
                       "ident_packed_templates.txt",
                       "ble_gfsk_softbits.txt",
-                      "ofdm_deinterleaved_bits.txt"),
+                      "ofdm_deinterleaved_bits.txt",
+                      "fleet_superposed_2tag.txt",
+                      "fleet_superposed_3tag.txt"),
     [](const ::testing::TestParamInfo<std::string>& info) {
       std::string name = info.param;
       for (char& c : name)
@@ -67,7 +69,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 // The builder list and the parameter list above must stay in sync.
 TEST(GoldenCorpus, CoversEveryBuilder) {
-  EXPECT_EQ(build_all().size(), 8u);
+  EXPECT_EQ(build_all().size(), 10u);
 }
 
 }  // namespace

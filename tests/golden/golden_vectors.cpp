@@ -2,9 +2,12 @@
 
 #include <cstdio>
 
+#include "channel/superposition.h"
 #include "common/bits.h"
+#include "common/rng.h"
 #include "core/ident/templates.h"
 #include "core/overlay/frame.h"
+#include "core/overlay/overlay.h"
 #include "dsp/iq.h"
 #include "phy/ble/ble.h"
 #include "phy/dsss/barker.h"
@@ -186,13 +189,46 @@ Vector ofdm_deinterleave_vector() {
   return v;
 }
 
+// Fleet superposition: the composite waveform the receiver sees when a
+// ZigBee-overlay tag and one or two BLE-overlay tags backscatter the
+// same slot (both PHYs run 8 Msps baseband, so they superpose
+// sample-for-sample).  Payloads are fixed seeded draws; per-tag
+// channels use the fleet convention (winner at 0 dB / zero delay,
+// interferers attenuated, rotated, and delayed).  Pins the whole chain
+// carrier → tag modulation → per-tag channel → ascending-order
+// accumulation: any drift in the PHYs, the overlay codecs, or the
+// superposition arithmetic flips hexfloat bits here.
+Iq fleet_tag_wave(Protocol p, std::uint64_t seed, std::size_t n_sequences) {
+  const auto codec = make_overlay_codec(p, mode_params(p, OverlayMode::Mode1));
+  Rng rng(seed);
+  const Bits productive =
+      rng.bits(n_sequences * codec->productive_bits_per_sequence());
+  const Bits tag_bits = rng.bits(codec->tag_capacity(n_sequences));
+  return codec->tag_modulate(codec->make_carrier(productive), tag_bits);
+}
+
+Vector fleet_superposed_vector(const char* filename, std::size_t n_tags) {
+  Vector v{filename, {}};
+  const Iq zig = fleet_tag_wave(Protocol::Zigbee, 0xf1ee7001, 1);
+  const Iq ble1 = fleet_tag_wave(Protocol::Ble, 0xf1ee7002, 1);
+  const Iq ble2 = fleet_tag_wave(Protocol::Ble, 0xf1ee7003, 1);
+  std::vector<SuperposedSource> sources;
+  sources.push_back({zig, {0.0, 0.0, 0}});           // slot winner
+  sources.push_back({ble1, {-9.0, 1.25, 3}});        // near interferer
+  if (n_tags >= 3) sources.push_back({ble2, {-17.5, 4.0, 11}});
+  append_iq(v.lines, superpose_tags(sources));
+  return v;
+}
+
 }  // namespace
 
 std::vector<Vector> build_all() {
   return {barker_vector(),   cck_vector(),
           ble_vector(),      zigbee_vector(),
           overlay_vector(),  packed_template_vector(),
-          gfsk_softbits_vector(), ofdm_deinterleave_vector()};
+          gfsk_softbits_vector(), ofdm_deinterleave_vector(),
+          fleet_superposed_vector("fleet_superposed_2tag.txt", 2),
+          fleet_superposed_vector("fleet_superposed_3tag.txt", 3)};
 }
 
 }  // namespace ms::golden

@@ -265,6 +265,63 @@ TEST(Cli, UsageNamesObservabilityFlags) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
 }
 
+TEST(Cli, ParsesFleetFlags) {
+  CliOptions o;
+  EXPECT_FALSE(
+      parse({"--tags", "256", "--capture-threshold-db", "3.5"}, o)
+          .has_value());
+  EXPECT_EQ(o.tags, 256u);
+  EXPECT_DOUBLE_EQ(o.capture_threshold_db, 3.5);
+}
+
+TEST(Cli, FleetFlagsDefaultToBenchDefaults) {
+  CliOptions o;
+  EXPECT_FALSE(parse({}, o).has_value());
+  EXPECT_EQ(o.tags, 0u);                     // 0 = bench default
+  EXPECT_LT(o.capture_threshold_db, 0.0);    // < 0 = bench default
+}
+
+TEST(Cli, CaptureThresholdZeroIsValid) {
+  // 0 dB margin = "strongest always captures" — a legitimate model.
+  CliOptions o;
+  EXPECT_FALSE(parse({"--capture-threshold-db", "0"}, o).has_value());
+  EXPECT_DOUBLE_EQ(o.capture_threshold_db, 0.0);
+}
+
+TEST(Cli, RejectsBadTagsValues) {
+  CliOptions o;
+  EXPECT_TRUE(parse({"--tags"}, o).has_value());
+  EXPECT_TRUE(parse({"--tags", "0"}, o).has_value());
+  EXPECT_TRUE(parse({"--tags", "-4"}, o).has_value());
+  EXPECT_TRUE(parse({"--tags", "lots"}, o).has_value());
+  EXPECT_TRUE(parse({"--tags", "12.5"}, o).has_value());
+  const auto err = parse({"--tags", "lots"}, o);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("--tags"), std::string::npos) << *err;
+  EXPECT_NE(err->find("'lots'"), std::string::npos)
+      << "error message should quote the bad value: " << *err;
+}
+
+TEST(Cli, RejectsBadCaptureThresholdValues) {
+  CliOptions o;
+  EXPECT_TRUE(parse({"--capture-threshold-db"}, o).has_value());
+  EXPECT_TRUE(parse({"--capture-threshold-db", "-3"}, o).has_value());
+  EXPECT_TRUE(parse({"--capture-threshold-db", "nan"}, o).has_value());
+  EXPECT_TRUE(parse({"--capture-threshold-db", "inf"}, o).has_value());
+  EXPECT_TRUE(parse({"--capture-threshold-db", "6dB"}, o).has_value());
+  const auto err = parse({"--capture-threshold-db", "-3"}, o);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("--capture-threshold-db"), std::string::npos) << *err;
+  EXPECT_NE(err->find("'-3'"), std::string::npos)
+      << "error message should quote the bad value: " << *err;
+}
+
+TEST(Cli, UsageNamesFleetFlags) {
+  const std::string usage = cli_usage("bench_x");
+  for (const char* flag : {"--tags", "--capture-threshold-db"})
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+}
+
 TEST(Cli, OrExitCreatesMissingOutDirectories) {
   // parse_cli_or_exit creates --out and the parents of the telemetry
   // output files instead of failing later at dump time.
